@@ -1,0 +1,59 @@
+#include "analytics_bench_util.h"
+
+#include <memory>
+
+#include "analytics/common.h"
+#include "baselines/store_factory.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/timer.h"
+#include "datasets/datasets.h"
+
+namespace cuckoograph::bench {
+
+int RunAnalyticsFigure(int argc, char** argv,
+                       const AnalyticsFigureSpec& spec) {
+  const Flags flags(argc, argv);
+  const double user_scale = flags.GetDouble("scale", 1.0);
+  const std::string only_dataset = flags.GetString("datasets", "");
+  const std::string only_scheme = flags.GetString("schemes", "");
+
+  PrintHeader(spec.experiment, spec.title + " — seconds per run",
+              AllSchemeNames());
+  for (const std::string& dataset_name : datasets::AllDatasetNames()) {
+    if (!only_dataset.empty() && only_dataset != dataset_name) continue;
+    const datasets::Dataset dataset =
+        MakeBenchDataset(dataset_name, user_scale);
+
+    // Reference load: used only for node selection and subgraph extraction
+    // so every scheme receives identical inputs.
+    auto reference = MakeStoreByName("CuckooGraph");
+    for (const Edge& e : dataset.stream) reference->InsertEdge(e.u, e.v);
+    const std::vector<NodeId> top_nodes =
+        analytics::TopDegreeNodes(*reference, spec.subgraph_nodes);
+    const std::vector<Edge> subgraph_edges =
+        spec.subgraph_only ? analytics::InducedSubgraph(*reference, top_nodes)
+                           : std::vector<Edge>();
+
+    std::vector<std::string> row{dataset_name};
+    for (const std::string& scheme : AllSchemeNames()) {
+      if (!only_scheme.empty() && only_scheme != scheme) {
+        row.push_back("-");
+        continue;
+      }
+      auto store = MakeStoreByName(scheme);
+      if (spec.subgraph_only) {
+        for (const Edge& e : subgraph_edges) store->InsertEdge(e.u, e.v);
+      } else {
+        for (const Edge& e : dataset.stream) store->InsertEdge(e.u, e.v);
+      }
+      WallTimer timer;
+      spec.kernel(*store, top_nodes);
+      row.push_back(FmtSeconds(timer.ElapsedSeconds()));
+    }
+    PrintRow(spec.experiment, row);
+  }
+  return 0;
+}
+
+}  // namespace cuckoograph::bench

@@ -1,0 +1,33 @@
+// Shared runner for the graph-analytics figures (Figures 10-16). Follows
+// the Section V-E methodology: the top-degree node set is selected once per
+// dataset (on a reference store, so every scheme sees the same nodes), and
+// either the whole dataset (BFS/SSSP/TC) or the extracted subgraph
+// (CC/PR/BC/LCC) is inserted into each scheme before the timed kernel runs.
+#ifndef CUCKOOGRAPH_BENCH_ANALYTICS_BENCH_UTIL_H_
+#define CUCKOOGRAPH_BENCH_ANALYTICS_BENCH_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/graph_store.h"
+
+namespace cuckoograph::bench {
+
+struct AnalyticsFigureSpec {
+  std::string experiment;   // e.g. "fig10"
+  std::string title;        // e.g. "Running time of BFS (Section V-E1)"
+  size_t subgraph_nodes;    // top-degree selection size
+  bool subgraph_only;       // insert only the induced subgraph's edges
+  // The timed kernel: receives the loaded store and the selected nodes.
+  std::function<void(const GraphStore&, const std::vector<NodeId>&)> kernel;
+};
+
+// Parses --scale / --datasets / --schemes flags, runs the spec over every
+// dataset x scheme, and prints one row per dataset (columns = schemes).
+int RunAnalyticsFigure(int argc, char** argv, const AnalyticsFigureSpec& spec);
+
+}  // namespace cuckoograph::bench
+
+#endif  // CUCKOOGRAPH_BENCH_ANALYTICS_BENCH_UTIL_H_

@@ -1,0 +1,51 @@
+// Design-choice ablation (DESIGN.md): Part 2's inline small slots on/off.
+// Real graphs are dominated by low-degree nodes (the sparsity observation
+// of Section I), so storing up to 2R neighbours inline avoids allocating an
+// S-CHT chain for most nodes. Disabling the inline slots gives every node a
+// chain from its first edge; this bench quantifies what that costs in
+// memory and throughput on a low-degree-heavy and a high-degree dataset.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/timer.h"
+#include "core/cuckoo_graph.h"
+#include "datasets/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoograph;
+  const Flags flags(argc, argv);
+  const double user_scale = flags.GetDouble("scale", 1.0);
+
+  bench::PrintHeader("ablation_inline",
+                     "inline small slots: insert/query Mops and memory",
+                     {"ins Mops", "qry Mops", "MB", "chains"});
+  for (const std::string& dataset_name :
+       {std::string("SparseGraph"), std::string("NotreDame"),
+        std::string("DenseGraph")}) {
+    const datasets::Dataset dataset =
+        bench::MakeBenchDataset(dataset_name, user_scale);
+    for (const bool inline_slots : {true, false}) {
+      Config config;
+      config.enable_inline_slots = inline_slots;
+      CuckooGraph graph(config);
+      WallTimer timer;
+      for (const Edge& e : dataset.stream) graph.InsertEdge(e.u, e.v);
+      const double ins = Mops(dataset.stream.size(),
+                              timer.ElapsedSeconds());
+      timer.Reset();
+      size_t hits = 0;
+      for (const Edge& e : dataset.stream) hits += graph.QueryEdge(e.u, e.v);
+      const double qry = Mops(dataset.stream.size(),
+                              timer.ElapsedSeconds());
+      (void)hits;
+      bench::PrintRow(
+          "ablation_inline",
+          {dataset_name + (inline_slots ? "/inline" : "/chains"),
+           bench::FmtMops(ins), bench::FmtMops(qry),
+           bench::FmtMb(graph.MemoryBytes()),
+           std::to_string(graph.stats().num_chains)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Design-choice ablation (DESIGN.md): reverse transformation on/off.
+// Inserts a CAIDA-like dedup stream, deletes 90% of it, and compares the
+// retained memory and the deletion throughput. With the reverse
+// transformation the structure tightens back toward its minimal form; with
+// it off, capacity is retained (faster deletes, more memory).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/timer.h"
+#include "core/cuckoo_graph.h"
+#include "datasets/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoograph;
+  const Flags flags(argc, argv);
+  const double user_scale = flags.GetDouble("scale", 1.0);
+
+  const datasets::Dataset dataset =
+      bench::MakeBenchDataset("CAIDA", user_scale);
+  const std::vector<Edge> distinct = datasets::DedupEdges(dataset.stream);
+  const size_t kept = distinct.size() / 10;
+
+  bench::PrintHeader("ablation_rt",
+                     "reverse transformation: memory after deleting 90%",
+                     {"peak MB", "after MB", "del Mops"});
+  for (const bool enabled : {true, false}) {
+    Config config;
+    config.enable_reverse_transform = enabled;
+    CuckooGraph graph(config);
+    for (const Edge& e : distinct) graph.InsertEdge(e.u, e.v);
+    const size_t peak = graph.MemoryBytes();
+    WallTimer timer;
+    for (size_t i = kept; i < distinct.size(); ++i) {
+      graph.DeleteEdge(distinct[i].u, distinct[i].v);
+    }
+    const double del_mops =
+        Mops(distinct.size() - kept, timer.ElapsedSeconds());
+    bench::PrintRow("ablation_rt",
+                    {enabled ? "RT on" : "RT off", bench::FmtMb(peak),
+                     bench::FmtMb(graph.MemoryBytes()),
+                     bench::FmtMops(del_mops)});
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 10: running time of BFS on the seven datasets (Section V-E1).
+// Methodology: insert the whole dataset, then BFS from the highest
+// total-degree nodes, reporting the average time per traversal.
+#include "analytics/bfs.h"
+#include "analytics_bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoograph;
+  bench::AnalyticsFigureSpec spec;
+  spec.experiment = "fig10";
+  spec.title = "BFS running time (V-E1)";
+  spec.subgraph_nodes = 5;  // five top-degree BFS roots, averaged
+  spec.subgraph_only = false;
+  spec.kernel = [](const GraphStore& store,
+                   const std::vector<NodeId>& roots) {
+    size_t total_visited = 0;
+    for (NodeId root : roots) {
+      total_visited += analytics::Bfs(store, root).size();
+    }
+    // total_visited is intentionally unused beyond keeping the work alive.
+    (void)total_visited;
+  };
+  return bench::RunAnalyticsFigure(argc, argv, spec);
+}

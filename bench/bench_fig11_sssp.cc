@@ -1,0 +1,24 @@
+// Figure 11: running time of SSSP / Dijkstra (Section V-E2).
+// Methodology: extract the top-degree subgraph, pick the 10 highest
+// total-degree nodes as sources, run Dijkstra from each, report the total.
+// The relaxation step probes candidate edges with edge queries, which is
+// why this task separates the schemes by edge-query speed.
+#include "analytics/sssp.h"
+#include "analytics_bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoograph;
+  bench::AnalyticsFigureSpec spec;
+  spec.experiment = "fig11";
+  spec.title = "SSSP (Dijkstra x10 sources) running time (V-E2)";
+  spec.subgraph_nodes = 100;
+  spec.subgraph_only = false;  // whole dataset is inserted (Section V-E2)
+  spec.kernel = [](const GraphStore& store,
+                   const std::vector<NodeId>& nodes) {
+    const size_t sources = nodes.size() < 10 ? nodes.size() : 10;
+    for (size_t s = 0; s < sources; ++s) {
+      analytics::SsspDijkstra(store, nodes[s], nodes);
+    }
+  };
+  return bench::RunAnalyticsFigure(argc, argv, spec);
+}

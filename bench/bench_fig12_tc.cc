@@ -1,0 +1,23 @@
+// Figure 12: running time of Triangle Counting (Section V-E3).
+// Methodology: insert the whole dataset; for each of the top-degree nodes,
+// enumerate 2-hop successors and probe the closing edges with edge queries.
+#include "analytics/triangle_count.h"
+#include "analytics_bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoograph;
+  bench::AnalyticsFigureSpec spec;
+  spec.experiment = "fig12";
+  spec.title = "Triangle Counting running time (V-E3)";
+  spec.subgraph_nodes = 10;  // TC runs per top-degree node
+  spec.subgraph_only = false;
+  spec.kernel = [](const GraphStore& store,
+                   const std::vector<NodeId>& nodes) {
+    size_t triangles = 0;
+    for (NodeId node : nodes) {
+      triangles += analytics::CountTriangles(store, node);
+    }
+    (void)triangles;
+  };
+  return bench::RunAnalyticsFigure(argc, argv, spec);
+}

@@ -1,0 +1,20 @@
+// Figure 13: running time of Connected Components / Tarjan (Section V-E4).
+// Methodology: extract the top-degree subgraph, insert it into each scheme,
+// run Tarjan's SCC over it.
+#include "analytics/connected_components.h"
+#include "analytics_bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoograph;
+  bench::AnalyticsFigureSpec spec;
+  spec.experiment = "fig13";
+  spec.title = "Connected Components (Tarjan) running time (V-E4)";
+  spec.subgraph_nodes = 1500;
+  spec.subgraph_only = true;
+  spec.kernel = [](const GraphStore& store,
+                   const std::vector<NodeId>& nodes) {
+    const auto result = analytics::TarjanScc(store, nodes);
+    (void)result.count;
+  };
+  return bench::RunAnalyticsFigure(argc, argv, spec);
+}

@@ -1,0 +1,20 @@
+// Figure 14: running time of PageRank (Section V-E5).
+// Methodology: extract the top-degree subgraph, build the transition
+// structure with successor queries, iterate 100 times.
+#include "analytics/pagerank.h"
+#include "analytics_bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoograph;
+  bench::AnalyticsFigureSpec spec;
+  spec.experiment = "fig14";
+  spec.title = "PageRank (100 iterations) running time (V-E5)";
+  spec.subgraph_nodes = 1500;
+  spec.subgraph_only = true;
+  spec.kernel = [](const GraphStore& store,
+                   const std::vector<NodeId>& nodes) {
+    const auto pr = analytics::PageRank(store, nodes, 100);
+    (void)pr.size();
+  };
+  return bench::RunAnalyticsFigure(argc, argv, spec);
+}

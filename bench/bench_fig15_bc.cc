@@ -1,0 +1,20 @@
+// Figure 15: running time of Betweenness Centrality / Brandes (V-E6).
+// Methodology: extract the top-degree subgraph, insert it into each scheme,
+// run the Brandes algorithm.
+#include "analytics/betweenness.h"
+#include "analytics_bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoograph;
+  bench::AnalyticsFigureSpec spec;
+  spec.experiment = "fig15";
+  spec.title = "Betweenness Centrality (Brandes) running time (V-E6)";
+  spec.subgraph_nodes = 400;
+  spec.subgraph_only = true;
+  spec.kernel = [](const GraphStore& store,
+                   const std::vector<NodeId>& nodes) {
+    const auto bc = analytics::BetweennessCentrality(store, nodes);
+    (void)bc.size();
+  };
+  return bench::RunAnalyticsFigure(argc, argv, spec);
+}

@@ -1,0 +1,20 @@
+// Figure 16: running time of Local Clustering Coefficient (V-E7).
+// Methodology: extract the top-degree subgraph, pre-compute all neighbours
+// of each node, count neighbourhood links with edge queries.
+#include "analytics/lcc.h"
+#include "analytics_bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoograph;
+  bench::AnalyticsFigureSpec spec;
+  spec.experiment = "fig16";
+  spec.title = "Local Clustering Coefficient running time (V-E7)";
+  spec.subgraph_nodes = 250;
+  spec.subgraph_only = true;
+  spec.kernel = [](const GraphStore& store,
+                   const std::vector<NodeId>& nodes) {
+    const auto lcc = analytics::LocalClusteringCoefficient(store, nodes);
+    (void)lcc.size();
+  };
+  return bench::RunAnalyticsFigure(argc, argv, spec);
+}

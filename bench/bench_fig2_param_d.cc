@@ -1,0 +1,14 @@
+// Figure 2: effect of the cells-per-bucket parameter d in {4, 8, 16, 32}
+// on insertion throughput, query throughput and memory (Section V-B).
+#include "param_sweep_util.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoograph;
+  std::vector<bench::ParamVariant> variants;
+  for (int d : {4, 8, 16, 32}) {
+    Config config;
+    config.cells_per_bucket = d;
+    variants.emplace_back("d=" + std::to_string(d), config);
+  }
+  return bench::RunParamSweep(argc, argv, "fig2", "tuning d", variants);
+}

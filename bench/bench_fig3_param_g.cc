@@ -1,0 +1,18 @@
+// Figure 3: effect of the expansion loading-rate threshold G in
+// {0.8, 0.85, 0.9, 0.95} (Section V-B).
+#include <cstdio>
+
+#include "param_sweep_util.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoograph;
+  std::vector<bench::ParamVariant> variants;
+  for (double g : {0.8, 0.85, 0.9, 0.95}) {
+    Config config;
+    config.expand_threshold = g;
+    char label[16];
+    std::snprintf(label, sizeof(label), "G=%.2f", g);
+    variants.emplace_back(label, config);
+  }
+  return bench::RunParamSweep(argc, argv, "fig3", "tuning G", variants);
+}

@@ -1,0 +1,14 @@
+// Figure 4: effect of the maximum kick-loop count T in {50, 150, 250, 350}
+// (Section V-B).
+#include "param_sweep_util.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoograph;
+  std::vector<bench::ParamVariant> variants;
+  for (int t : {50, 150, 250, 350}) {
+    Config config;
+    config.max_kicks = t;
+    variants.emplace_back("T=" + std::to_string(t), config);
+  }
+  return bench::RunParamSweep(argc, argv, "fig4", "tuning T", variants);
+}

@@ -1,0 +1,16 @@
+// Figure 5: DENYLIST ablation (Section V-C). "Ours (DL)" is the default
+// configuration; "Ours (DL-free)" disables the denylists, so every
+// insertion failure immediately expands the affected chain instead (the
+// grow-on-failure baseline described in the ablation methodology).
+#include "param_sweep_util.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoograph;
+  Config with_dl;
+  Config without_dl;
+  without_dl.enable_deny_list = false;
+  const std::vector<bench::ParamVariant> variants{
+      {"Ours(DL)", with_dl}, {"Ours(DL-free)", without_dl}};
+  return bench::RunParamSweep(argc, argv, "fig5", "DENYLIST ablation",
+                              variants);
+}

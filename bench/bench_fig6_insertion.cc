@@ -1,0 +1,32 @@
+// Figure 6: insertion throughput (Mops) of all schemes on the seven
+// datasets (Section V-D methodology step 1: insert every edge of the
+// arrival stream into an empty structure).
+#include "baselines/store_factory.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/timer.h"
+#include "datasets/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoograph;
+  const Flags flags(argc, argv);
+  const double user_scale = flags.GetDouble("scale", 1.0);
+
+  bench::PrintHeader("fig6", "Insertion throughput (Mops, higher is better)",
+                     AllSchemeNames());
+  for (const std::string& dataset_name : datasets::AllDatasetNames()) {
+    const datasets::Dataset dataset =
+        bench::MakeBenchDataset(dataset_name, user_scale);
+    std::vector<std::string> row{dataset_name};
+    for (const std::string& scheme : AllSchemeNames()) {
+      auto store = MakeStoreByName(scheme);
+      WallTimer timer;
+      for (const Edge& e : dataset.stream) store->InsertEdge(e.u, e.v);
+      row.push_back(
+          bench::FmtMops(Mops(dataset.stream.size(),
+                              timer.ElapsedSeconds())));
+    }
+    bench::PrintRow("fig6", row);
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 8: deletion throughput (Mops) of all schemes on the seven datasets
+// (Section V-D methodology step 3: delete edges one by one).
+#include "baselines/store_factory.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/timer.h"
+#include "datasets/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoograph;
+  const Flags flags(argc, argv);
+  const double user_scale = flags.GetDouble("scale", 1.0);
+
+  bench::PrintHeader("fig8", "Deletion throughput (Mops, higher is better)",
+                     AllSchemeNames());
+  for (const std::string& dataset_name : datasets::AllDatasetNames()) {
+    const datasets::Dataset dataset =
+        bench::MakeBenchDataset(dataset_name, user_scale);
+    const std::vector<Edge> distinct = datasets::DedupEdges(dataset.stream);
+    std::vector<std::string> row{dataset_name};
+    for (const std::string& scheme : AllSchemeNames()) {
+      auto store = MakeStoreByName(scheme);
+      for (const Edge& e : dataset.stream) store->InsertEdge(e.u, e.v);
+      WallTimer timer;
+      for (const Edge& e : distinct) store->DeleteEdge(e.u, e.v);
+      row.push_back(
+          bench::FmtMops(Mops(distinct.size(), timer.ElapsedSeconds())));
+    }
+    bench::PrintRow("fig8", row);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 9(a)-(g): memory usage versus number of inserted items on every
+// dataset (Section V-D methodology step 4: de-duplicate first, insert one
+// by one, sample the memory footprint as insertion progresses).
+#include <memory>
+
+#include "baselines/store_factory.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "datasets/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoograph;
+  const Flags flags(argc, argv);
+  const double user_scale = flags.GetDouble("scale", 1.0);
+  const int checkpoints = static_cast<int>(flags.GetInt("checkpoints", 5));
+
+  for (const std::string& dataset_name : datasets::AllDatasetNames()) {
+    const datasets::Dataset dataset =
+        bench::MakeBenchDataset(dataset_name, user_scale);
+    const std::vector<Edge> distinct = datasets::DedupEdges(dataset.stream);
+    bench::PrintHeader("fig9",
+                       "Memory usage (MB) vs #inserted dedup edges — " +
+                           dataset_name,
+                       AllSchemeNames());
+    // Sample after each fraction i/checkpoints of the distinct edges.
+    std::vector<std::unique_ptr<GraphStore>> stores;
+    for (const std::string& scheme : AllSchemeNames()) {
+      stores.push_back(MakeStoreByName(scheme));
+    }
+    size_t cursor = 0;
+    for (int cp = 1; cp <= checkpoints; ++cp) {
+      const size_t until = distinct.size() * static_cast<size_t>(cp) /
+                           static_cast<size_t>(checkpoints);
+      for (auto& store : stores) {
+        for (size_t i = cursor; i < until; ++i) {
+          store->InsertEdge(distinct[i].u, distinct[i].v);
+        }
+      }
+      cursor = until;
+      std::vector<std::string> row{dataset_name + "@" +
+                                   std::to_string(until)};
+      for (auto& store : stores) {
+        row.push_back(bench::FmtMb(store->MemoryBytes()));
+      }
+      bench::PrintRow("fig9", row);
+    }
+  }
+  return 0;
+}

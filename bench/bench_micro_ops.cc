@@ -1,0 +1,120 @@
+// Google-benchmark microbenchmarks of the core CuckooGraph operations:
+// per-op latency of insert/query/delete/successor iteration at several
+// graph sizes, plus the raw BobHash and cuckoo-table primitives. These back
+// the per-op numbers quoted in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/bob_hash.h"
+#include "common/rng.h"
+#include "core/cuckoo_graph.h"
+#include "core/weighted_cuckoo_graph.h"
+
+namespace cuckoograph {
+namespace {
+
+void BM_BobHash(benchmark::State& state) {
+  BobHash hash(7);
+  uint64_t key = 0x123456789abcdefULL;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash(key));
+    ++key;
+  }
+}
+BENCHMARK(BM_BobHash);
+
+std::vector<Edge> MakeWorkload(size_t edges) {
+  SplitMix64 rng(11);
+  std::vector<Edge> workload;
+  workload.reserve(edges);
+  for (size_t i = 0; i < edges; ++i) {
+    workload.push_back(
+        Edge{rng.NextBelow(edges / 8 + 1), rng.NextBelow(edges) + 1});
+  }
+  return workload;
+}
+
+void BM_InsertEdge(benchmark::State& state) {
+  const auto workload = MakeWorkload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    CuckooGraph graph;
+    state.ResumeTiming();
+    for (const Edge& e : workload) {
+      benchmark::DoNotOptimize(graph.InsertEdge(e.u, e.v));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(workload.size()));
+}
+BENCHMARK(BM_InsertEdge)->Arg(10'000)->Arg(100'000);
+
+void BM_QueryEdge(benchmark::State& state) {
+  const auto workload = MakeWorkload(static_cast<size_t>(state.range(0)));
+  CuckooGraph graph;
+  for (const Edge& e : workload) graph.InsertEdge(e.u, e.v);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Edge& e = workload[i++ % workload.size()];
+    benchmark::DoNotOptimize(graph.QueryEdge(e.u, e.v));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QueryEdge)->Arg(10'000)->Arg(100'000);
+
+void BM_QueryMissingEdge(benchmark::State& state) {
+  const auto workload = MakeWorkload(static_cast<size_t>(state.range(0)));
+  CuckooGraph graph;
+  for (const Edge& e : workload) graph.InsertEdge(e.u, e.v);
+  NodeId probe = 1u << 30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.QueryEdge(probe, probe + 1));
+    ++probe;
+  }
+}
+BENCHMARK(BM_QueryMissingEdge)->Arg(100'000);
+
+void BM_DeleteInsertChurn(benchmark::State& state) {
+  const auto workload = MakeWorkload(static_cast<size_t>(state.range(0)));
+  CuckooGraph graph;
+  for (const Edge& e : workload) graph.InsertEdge(e.u, e.v);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Edge& e = workload[i++ % workload.size()];
+    graph.DeleteEdge(e.u, e.v);
+    graph.InsertEdge(e.u, e.v);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_DeleteInsertChurn)->Arg(50'000);
+
+void BM_SuccessorIteration(benchmark::State& state) {
+  CuckooGraph graph;
+  const size_t degree = static_cast<size_t>(state.range(0));
+  for (NodeId v = 0; v < degree; ++v) graph.InsertEdge(1, v + 10);
+  for (auto _ : state) {
+    size_t count = 0;
+    graph.ForEachNeighbor(1, [&count](NodeId) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(degree));
+}
+BENCHMARK(BM_SuccessorIteration)->Arg(6)->Arg(1'000)->Arg(100'000);
+
+void BM_WeightedAdd(benchmark::State& state) {
+  WeightedCuckooGraph graph;
+  SplitMix64 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph.AddEdge(rng.NextBelow(1'000), rng.NextBelow(10'000)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WeightedAdd);
+
+}  // namespace
+}  // namespace cuckoograph
+
+BENCHMARK_MAIN();

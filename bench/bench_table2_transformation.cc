@@ -1,0 +1,44 @@
+// Table II: the transformation rule of the S-CHT chain lengths (R = 3).
+// Grows one node's neighbourhood edge by edge and prints every distinct
+// (1st, 2nd, 3rd) length state the live chain passes through, which should
+// match the paper's sequence n | n,n/2 | n,n/2,n/2 | 2n,n | 2n,n,n |
+// 4n,2n | ... (lengths printed in buckets; n = s_initial_buckets).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/cuckoo_graph.h"
+
+int main(int, char**) {
+  using namespace cuckoograph;
+  Config config;
+  config.s_initial_buckets = 2;  // "n" in Table II
+  CuckooGraph graph(config);
+
+  bench::PrintHeader(
+      "table2",
+      "S-CHT transformation states (n = " +
+          std::to_string(config.s_initial_buckets) + " buckets)",
+      {"1st", "2nd", "3rd", "#neighbours"});
+
+  std::vector<size_t> last;
+  size_t rows = 0;
+  for (NodeId v = 0; v < 4'000'000 && rows < 10; ++v) {
+    graph.InsertEdge(1, v + 100);
+    const std::vector<size_t> lengths = graph.SChainLengths(1);
+    if (lengths.empty() || lengths == last) continue;
+    last = lengths;
+    ++rows;
+    std::vector<std::string> row{"#" + std::to_string(rows)};
+    for (size_t i = 0; i < 3; ++i) {
+      row.push_back(i < lengths.size() ? std::to_string(lengths[i])
+                                       : "null");
+    }
+    row.push_back(std::to_string(graph.OutDegree(1)));
+    bench::PrintRow("table2", row);
+  }
+  std::printf("(expected, Table II with n=2: 2 | 2,1 | 2,1,1 | 4,2 | 4,2,2 "
+              "| 8,4 | 8,4,4 | 16,8 | ...)\n");
+  return 0;
+}

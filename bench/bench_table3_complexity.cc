@@ -1,0 +1,74 @@
+// Table III: time/space complexity comparison. Prints the paper's analytic
+// table, then verifies it empirically: amortized per-op insert and query
+// time for every scheme at growing |E| (a scheme with O(1) ops stays flat;
+// O(log |E|) and O(deg) schemes drift upward).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/store_factory.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoograph;
+  const Flags flags(argc, argv);
+  const size_t max_edges =
+      static_cast<size_t>(flags.GetInt("max_edges", 400'000));
+
+  std::printf("== table3: analytic complexity (paper Table III) ==\n");
+  std::printf("%-14s%20s%20s%16s\n", "Algorithm", "Insert <u,v>",
+              "Query <u,v>", "Space");
+  std::printf("%-14s%20s%20s%16s\n", "LiveGraph", "O(1)", "O(deg(v))",
+              "O(|E|)");
+  std::printf("%-14s%20s%20s%16s\n", "Spruce", "O(|E|/|V|)", "O(log|E|/|V|)",
+              "O(|E|)");
+  std::printf("%-14s%20s%20s%16s\n", "Sortledton", "O(log|E|)", "O(log|E|)",
+              "O(|E|)");
+  std::printf("%-14s%20s%20s%16s\n", "WBI", "O(1)", "O(|E|/K^2)",
+              "O(K^2+|E|)");
+  std::printf("%-14s%20s%20s%16s\n", "CuckooGraph", "O(1)", "O(1)",
+              "O(|E|)");
+
+  // Empirical check: ns/op at |E| in {N/4, N/2, N}. A power-law workload
+  // (hub node u=0) exposes the O(deg) query terms.
+  bench::PrintHeader("table3", "empirical ns/op at growing |E|",
+                     {"|E|", "insert ns", "query ns", "bytes/edge"});
+  for (const std::string& scheme : AllSchemeNames()) {
+    std::printf("-- %s --\n", scheme.c_str());
+    for (size_t edges : {max_edges / 4, max_edges / 2, max_edges}) {
+      auto store = MakeStoreByName(scheme);
+      SplitMix64 rng(42);
+      std::vector<Edge> workload;
+      workload.reserve(edges);
+      for (size_t i = 0; i < edges; ++i) {
+        // 1/8 of edges attach to the hub; the rest are power-law-ish.
+        const NodeId u = (i % 8 == 0) ? 0 : rng.NextBelow(edges / 4 + 1);
+        const NodeId v = rng.NextBelow(edges) + 1;
+        workload.push_back(Edge{u, v});
+      }
+      WallTimer timer;
+      for (const Edge& e : workload) store->InsertEdge(e.u, e.v);
+      const double insert_ns =
+          timer.ElapsedSeconds() * 1e9 / static_cast<double>(edges);
+      timer.Reset();
+      size_t hits = 0;
+      for (const Edge& e : workload) hits += store->QueryEdge(e.u, e.v);
+      const double query_ns =
+          timer.ElapsedSeconds() * 1e9 / static_cast<double>(edges);
+      (void)hits;
+      const double bytes_per_edge =
+          static_cast<double>(store->MemoryBytes()) /
+          static_cast<double>(store->NumEdges());
+      char insert_buf[32], query_buf[32], bpe_buf[32];
+      std::snprintf(insert_buf, sizeof(insert_buf), "%.0f", insert_ns);
+      std::snprintf(query_buf, sizeof(query_buf), "%.0f", query_ns);
+      std::snprintf(bpe_buf, sizeof(bpe_buf), "%.1f", bytes_per_edge);
+      bench::PrintRow("table3", {scheme + "@" + std::to_string(edges),
+                                 insert_buf, query_buf, bpe_buf});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "bench_util.h"
+
+#include <cinttypes>
+
+namespace cuckoograph::bench {
+
+double DatasetScale(const std::string& name, double user_scale) {
+  // Defaults keep each dataset's stream near 10^5 arrivals while retaining
+  // its duplication ratio and skew (see DESIGN.md, substitutions).
+  double base = 0.01;
+  if (name == "CAIDA") base = 0.02;            // ~540k arrivals, 17k distinct
+  if (name == "NotreDame") base = 0.04;        // ~60k edges
+  if (name == "StackOverflow") base = 0.002;   // ~127k arrivals
+  if (name == "WikiTalk") base = 0.004;        // ~100k arrivals
+  if (name == "Weibo") base = 0.0004;          // ~104k edges
+  if (name == "DenseGraph") base = 0.002;      // ~115k edges, 357 nodes
+  if (name == "SparseGraph") base = 0.004;     // ~120k edges
+  double scale = base * user_scale;
+  if (scale > 1.0) scale = 1.0;
+  if (scale < 1e-6) scale = 1e-6;
+  return scale;
+}
+
+datasets::Dataset MakeBenchDataset(const std::string& name,
+                                   double user_scale) {
+  return datasets::MakeByName(name, DatasetScale(name, user_scale));
+}
+
+void PrintHeader(const std::string& experiment, const std::string& title,
+                 const std::vector<std::string>& columns) {
+  std::printf("== %s: %s ==\n", experiment.c_str(), title.c_str());
+  std::printf("%-14s", "");
+  for (const std::string& col : columns) std::printf("%16s", col.c_str());
+  std::printf("\n");
+}
+
+void PrintRow(const std::string& experiment,
+              const std::vector<std::string>& cells) {
+  if (!cells.empty()) std::printf("%-14s", cells[0].c_str());
+  for (size_t i = 1; i < cells.size(); ++i) {
+    std::printf("%16s", cells[i].c_str());
+  }
+  std::printf("\n");
+  std::printf("CSV,%s", experiment.c_str());
+  for (const std::string& cell : cells) std::printf(",%s", cell.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string FmtMops(double mops) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", mops);
+  return buf;
+}
+
+std::string FmtMb(size_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buf;
+}
+
+std::string FmtSeconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", seconds);
+  return buf;
+}
+
+BasicTaskResult RunBasicTasks(GraphStore& store,
+                              const datasets::Dataset& dataset) {
+  BasicTaskResult result;
+  // 1) Insert the full arrival stream.
+  WallTimer timer;
+  for (const Edge& e : dataset.stream) store.InsertEdge(e.u, e.v);
+  result.insert_mops = Mops(dataset.stream.size(), timer.ElapsedSeconds());
+  result.memory_bytes = store.MemoryBytes();
+
+  // 2) Query every stream edge (all hits, mirroring the paper).
+  timer.Reset();
+  size_t hits = 0;
+  for (const Edge& e : dataset.stream) hits += store.QueryEdge(e.u, e.v);
+  result.query_mops = Mops(dataset.stream.size(), timer.ElapsedSeconds());
+  if (hits != dataset.stream.size()) {
+    std::fprintf(stderr, "warning: %s missed %zu queries\n",
+                 std::string(store.name()).c_str(),
+                 dataset.stream.size() - hits);
+  }
+
+  // 3) Delete the distinct edges one by one.
+  const std::vector<Edge> distinct = datasets::DedupEdges(dataset.stream);
+  timer.Reset();
+  for (const Edge& e : distinct) store.DeleteEdge(e.u, e.v);
+  result.delete_mops = Mops(distinct.size(), timer.ElapsedSeconds());
+  return result;
+}
+
+}  // namespace cuckoograph::bench

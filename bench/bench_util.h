@@ -1,0 +1,58 @@
+// Shared plumbing for the figure/table reproduction benches: per-dataset
+// default scales (sized so every binary finishes quickly on one core while
+// keeping the paper's relative shapes), row printing, and basic-task
+// drivers used by Figures 6-9.
+#ifndef CUCKOOGRAPH_BENCH_BENCH_UTIL_H_
+#define CUCKOOGRAPH_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/timer.h"
+#include "common/types.h"
+#include "core/graph_store.h"
+#include "datasets/datasets.h"
+
+namespace cuckoograph::bench {
+
+// Scales each Table IV profile down to a laptop-sized default stream
+// (roughly 50k-500k arrivals). `user_scale` multiplies the default; pass
+// --scale=50 (for example) to approach the paper's full sizes.
+double DatasetScale(const std::string& name, double user_scale);
+
+// Generates a dataset at bench scale.
+datasets::Dataset MakeBenchDataset(const std::string& name,
+                                   double user_scale);
+
+// Prints the standard bench header: figure id, paper reference, columns.
+void PrintHeader(const std::string& experiment, const std::string& title,
+                 const std::vector<std::string>& columns);
+
+// Prints one aligned row followed by a machine-readable CSV echo.
+void PrintRow(const std::string& experiment,
+              const std::vector<std::string>& cells);
+
+// Formats helpers.
+std::string FmtMops(double mops);
+std::string FmtMb(size_t bytes);
+std::string FmtSeconds(double seconds);
+
+// ---- Basic-task drivers (Figures 6-9) ------------------------------------
+
+struct BasicTaskResult {
+  double insert_mops = 0.0;
+  double query_mops = 0.0;
+  double delete_mops = 0.0;
+  size_t memory_bytes = 0;  // after all distinct edges are inserted
+};
+
+// Runs the Section V-D methodology on one store: insert the full stream,
+// query every stream edge, then delete the distinct edges one by one.
+BasicTaskResult RunBasicTasks(GraphStore& store,
+                              const datasets::Dataset& dataset);
+
+}  // namespace cuckoograph::bench
+
+#endif  // CUCKOOGRAPH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,28 @@
+// Shared runner for the parameter-tuning figures (Figures 2-4) and the
+// DENYLIST ablation (Figure 5). Reproduces the Section V-B methodology on
+// the CAIDA-like stream: batch-insert measuring cumulative insertion
+// throughput at checkpoints, batch-query the stream the same way, and
+// sample memory while inserting de-duplicated edges.
+#ifndef CUCKOOGRAPH_BENCH_PARAM_SWEEP_UTIL_H_
+#define CUCKOOGRAPH_BENCH_PARAM_SWEEP_UTIL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+
+namespace cuckoograph::bench {
+
+// One sweep variant: a legend label ("d=8") and its configuration.
+using ParamVariant = std::pair<std::string, Config>;
+
+// Runs all variants and prints the three blocks of the figure. `experiment`
+// tags the rows (e.g. "fig2"). Flags: --scale, --checkpoints.
+int RunParamSweep(int argc, char** argv, const std::string& experiment,
+                  const std::string& what,
+                  const std::vector<ParamVariant>& variants);
+
+}  // namespace cuckoograph::bench
+
+#endif  // CUCKOOGRAPH_BENCH_PARAM_SWEEP_UTIL_H_
