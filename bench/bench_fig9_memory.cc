@@ -1,6 +1,7 @@
 // Figure 9(a)-(g): memory usage versus number of inserted items on every
 // dataset (Section V-D methodology step 4: de-duplicate first, insert one
 // by one, sample the memory footprint as insertion progresses).
+#include <algorithm>
 #include <memory>
 
 #include "baselines/store_factory.h"
@@ -12,7 +13,8 @@ int main(int argc, char** argv) {
   using namespace cuckoograph;
   const Flags flags(argc, argv);
   const double user_scale = flags.GetDouble("scale", 1.0);
-  const int checkpoints = static_cast<int>(flags.GetInt("checkpoints", 5));
+  const int checkpoints =
+      std::max(1, static_cast<int>(flags.GetInt("checkpoints", 5)));
 
   for (const std::string& dataset_name : datasets::AllDatasetNames()) {
     const datasets::Dataset dataset =

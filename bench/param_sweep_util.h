@@ -1,8 +1,9 @@
 // Shared runner for the parameter-tuning figures (Figures 2-4) and the
 // DENYLIST ablation (Figure 5). Reproduces the Section V-B methodology on
 // the CAIDA-like stream: batch-insert measuring cumulative insertion
-// throughput at checkpoints, batch-query the stream the same way, and
-// sample memory while inserting de-duplicated edges.
+// throughput at checkpoints, re-query the full stream prefix at each
+// checkpoint (so qry@N measures the N-item structure), and sample memory
+// while inserting de-duplicated edges.
 #ifndef CUCKOOGRAPH_BENCH_PARAM_SWEEP_UTIL_H_
 #define CUCKOOGRAPH_BENCH_PARAM_SWEEP_UTIL_H_
 

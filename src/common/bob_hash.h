@@ -1,0 +1,49 @@
+// BobHash: Bob Jenkins' lookup3-style 32-bit mixer over 64-bit keys. The
+// cuckoo tables need two independent hash functions per table; seeding two
+// BobHash instances with different constants provides them.
+#ifndef CUCKOOGRAPH_COMMON_BOB_HASH_H_
+#define CUCKOOGRAPH_COMMON_BOB_HASH_H_
+
+#include <cstdint>
+
+namespace cuckoograph {
+
+class BobHash {
+ public:
+  explicit BobHash(uint32_t seed = 0) : seed_(seed) {}
+
+  uint32_t operator()(uint64_t key) const {
+    // Jenkins' final() mix on (low word, high word, seed).
+    uint32_t a = 0xdeadbeef + static_cast<uint32_t>(key) + seed_;
+    uint32_t b = 0xdeadbeef + static_cast<uint32_t>(key >> 32) + seed_;
+    uint32_t c = seed_ ^ 0x9e3779b9;
+    c ^= b;
+    c -= Rot(b, 14);
+    a ^= c;
+    a -= Rot(c, 11);
+    b ^= a;
+    b -= Rot(a, 25);
+    c ^= b;
+    c -= Rot(b, 16);
+    a ^= c;
+    a -= Rot(c, 4);
+    b ^= a;
+    b -= Rot(a, 14);
+    c ^= b;
+    c -= Rot(b, 24);
+    return c;
+  }
+
+  uint32_t seed() const { return seed_; }
+
+ private:
+  static uint32_t Rot(uint32_t x, int k) {
+    return (x << k) | (x >> (32 - k));
+  }
+
+  uint32_t seed_;
+};
+
+}  // namespace cuckoograph
+
+#endif  // CUCKOOGRAPH_COMMON_BOB_HASH_H_

@@ -1,0 +1,64 @@
+// Tiny argv parser used by every bench binary. Accepts "--name=value",
+// "--name value", and bare "--name" switches; typed getters fall back to
+// the caller's default when the flag is absent or unparsable.
+#ifndef CUCKOOGRAPH_COMMON_FLAGS_H_
+#define CUCKOOGRAPH_COMMON_FLAGS_H_
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+namespace cuckoograph {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) continue;
+      std::string body(arg + 2);
+      const size_t eq = body.find('=');
+      if (eq != std::string::npos) {
+        values_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[body] = argv[++i];
+      } else {
+        values_[body] = "";
+      }
+    }
+  }
+
+  bool Has(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? default_value : it->second;
+  }
+
+  long long GetInt(const std::string& name, long long default_value) const {
+    const auto it = values_.find(name);
+    if (it == values_.end() || it->second.empty()) return default_value;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+    return (end == nullptr || *end != '\0') ? default_value : parsed;
+  }
+
+  double GetDouble(const std::string& name, double default_value) const {
+    const auto it = values_.find(name);
+    if (it == values_.end() || it->second.empty()) return default_value;
+    char* end = nullptr;
+    const double parsed = std::strtod(it->second.c_str(), &end);
+    return (end == nullptr || *end != '\0') ? default_value : parsed;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace cuckoograph
+
+#endif  // CUCKOOGRAPH_COMMON_FLAGS_H_

@@ -1,0 +1,45 @@
+// SplitMix64: the tiny deterministic generator used by the dataset
+// generators, the cuckoo kick-out victim selection, and the benches. Fully
+// reproducible: the same seed always yields the same sequence.
+#ifndef CUCKOOGRAPH_COMMON_RNG_H_
+#define CUCKOOGRAPH_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace cuckoograph {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform value in [0, bound); returns 0 when bound == 0.
+  uint64_t NextBelow64(uint64_t bound) {
+    return bound == 0 ? 0 : Next() % bound;
+  }
+
+  // NodeId-typed convenience for workload generation.
+  NodeId NextBelow(uint64_t bound) {
+    return static_cast<NodeId>(NextBelow64(bound));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace cuckoograph
+
+#endif  // CUCKOOGRAPH_COMMON_RNG_H_

@@ -1,0 +1,34 @@
+// Wall-clock timing for the benches, plus the Mops throughput helper.
+#ifndef CUCKOOGRAPH_COMMON_TIMER_H_
+#define CUCKOOGRAPH_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstddef>
+
+namespace cuckoograph {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedSeconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Million operations per second; 0 when the interval is too small to
+// measure (avoids inf in the bench tables).
+inline double Mops(size_t operations, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(operations) / seconds / 1e6;
+}
+
+}  // namespace cuckoograph
+
+#endif  // CUCKOOGRAPH_COMMON_TIMER_H_

@@ -1,0 +1,34 @@
+// Core value types shared by every layer: vertex identifiers and the edge
+// record the dataset generators emit and the stores consume.
+#ifndef CUCKOOGRAPH_COMMON_TYPES_H_
+#define CUCKOOGRAPH_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace cuckoograph {
+
+// Vertex identifier. 32 bits covers every dataset in Table IV; the stores
+// never interpret the value, so 0 and ~0u are both valid vertices.
+using NodeId = uint32_t;
+
+// One directed edge <u, v> of an arrival stream. Streams may repeat an
+// edge; the weighted store accumulates repetitions as edge weight.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+};
+
+inline bool operator==(const Edge& a, const Edge& b) {
+  return a.u == b.u && a.v == b.v;
+}
+
+inline bool operator!=(const Edge& a, const Edge& b) { return !(a == b); }
+
+// Packs an edge into one 64-bit key, e.g. for dedup sets.
+inline uint64_t EdgeKey(const Edge& e) {
+  return (static_cast<uint64_t>(e.u) << 32) | static_cast<uint64_t>(e.v);
+}
+
+}  // namespace cuckoograph
+
+#endif  // CUCKOOGRAPH_COMMON_TYPES_H_

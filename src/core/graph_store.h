@@ -1,0 +1,48 @@
+// The abstract dynamic-graph-store interface every scheme implements:
+// CuckooGraph itself, and the baseline stores the comparison benches load
+// through the store factory.
+#ifndef CUCKOOGRAPH_CORE_GRAPH_STORE_H_
+#define CUCKOOGRAPH_CORE_GRAPH_STORE_H_
+
+#include <cstddef>
+#include <functional>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace cuckoograph {
+
+class GraphStore {
+ public:
+  virtual ~GraphStore() = default;
+
+  // Display name of the scheme (stable, used as bench column header).
+  virtual std::string_view name() const = 0;
+
+  // Inserts directed edge <u, v>. Returns true if the edge is new, false
+  // if it was already present (duplicate arrivals are idempotent).
+  virtual bool InsertEdge(NodeId u, NodeId v) = 0;
+
+  // Returns true iff directed edge <u, v> is present.
+  virtual bool QueryEdge(NodeId u, NodeId v) const = 0;
+
+  // Deletes directed edge <u, v>. Returns true iff it was present.
+  virtual bool DeleteEdge(NodeId u, NodeId v) = 0;
+
+  // Invokes `fn` once per successor of `u`, in unspecified order.
+  virtual void ForEachNeighbor(
+      NodeId u, const std::function<void(NodeId)>& fn) const = 0;
+
+  // Number of distinct directed edges currently stored.
+  virtual size_t NumEdges() const = 0;
+
+  // Number of vertices currently holding at least one out-edge.
+  virtual size_t NumNodes() const = 0;
+
+  // Resident memory footprint of the store, in bytes.
+  virtual size_t MemoryBytes() const = 0;
+};
+
+}  // namespace cuckoograph
+
+#endif  // CUCKOOGRAPH_CORE_GRAPH_STORE_H_

@@ -1,0 +1,131 @@
+// One fixed-geometry cuckoo hash table: `num_buckets` buckets of
+// `cells_per_bucket` cells, two hash choices per key, random-walk kick-out
+// insertion. Shared by the top-level L-CHT (items are vertex entries) and
+// the per-vertex S-CHT chain tables (items are neighbour records).
+//
+// Items must expose `NodeId CuckooKey() const`. Duplicate detection is the
+// caller's job (FindSlot before Place); the table itself treats items as
+// interchangeable, which keeps kick-out eviction simple: a failed Place
+// leaves the last evicted survivor in *item, and since all items are
+// equally placeable the caller may park or re-place whichever survivor it
+// is handed.
+#ifndef CUCKOOGRAPH_CORE_INTERNAL_CUCKOO_TABLE_H_
+#define CUCKOOGRAPH_CORE_INTERNAL_CUCKOO_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bob_hash.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace cuckoograph::internal {
+
+inline constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+template <typename Item>
+class CuckooTable {
+ public:
+  CuckooTable(size_t num_buckets, int cells_per_bucket)
+      : num_buckets_(num_buckets),
+        cells_per_bucket_(static_cast<size_t>(cells_per_bucket)),
+        cells_(num_buckets * static_cast<size_t>(cells_per_bucket)),
+        used_(cells_.size(), 0) {}
+
+  size_t num_buckets() const { return num_buckets_; }
+  size_t num_cells() const { return cells_.size(); }
+  size_t size() const { return size_; }
+  bool full() const { return size_ == cells_.size(); }
+
+  Item& cell(size_t slot) { return cells_[slot]; }
+  const Item& cell(size_t slot) const { return cells_[slot]; }
+  bool used(size_t slot) const { return used_[slot] != 0; }
+
+  // Returns the slot holding `key`, or kNoSlot.
+  size_t FindSlot(NodeId key, const BobHash& h1, const BobHash& h2) const {
+    const size_t b1 = Bucket(h1, key);
+    for (size_t s = b1; s < b1 + cells_per_bucket_; ++s) {
+      if (used_[s] && cells_[s].CuckooKey() == key) return s;
+    }
+    const size_t b2 = Bucket(h2, key);
+    if (b2 == b1) return kNoSlot;
+    for (size_t s = b2; s < b2 + cells_per_bucket_; ++s) {
+      if (used_[s] && cells_[s].CuckooKey() == key) return s;
+    }
+    return kNoSlot;
+  }
+
+  // Places *item, evicting at most max_kicks victims. On success returns
+  // true. On failure returns false with the homeless survivor in *item
+  // (see the header comment). *kicks is incremented per eviction.
+  bool Place(Item* item, const BobHash& h1, const BobHash& h2, int max_kicks,
+             SplitMix64* rng, uint64_t* kicks) {
+    if (full()) return false;
+    for (int attempt = 0; attempt <= max_kicks; ++attempt) {
+      const NodeId key = item->CuckooKey();
+      const size_t b1 = Bucket(h1, key);
+      const size_t b2 = Bucket(h2, key);
+      const size_t free_slot = FreeCellIn(b1, b2);
+      if (free_slot != kNoSlot) {
+        cells_[free_slot] = *item;
+        used_[free_slot] = 1;
+        ++size_;
+        return true;
+      }
+      if (attempt == max_kicks) break;
+      // Kick a random victim out of one of the two candidate buckets.
+      const size_t victim_bucket = (attempt & 1) != 0 ? b2 : b1;
+      const size_t slot =
+          victim_bucket + rng->NextBelow64(cells_per_bucket_);
+      std::swap(*item, cells_[slot]);
+      ++*kicks;
+    }
+    return false;
+  }
+
+  void Erase(size_t slot) {
+    used_[slot] = 0;
+    --size_;
+  }
+
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (size_t s = 0; s < cells_.size(); ++s) {
+      if (used_[s]) fn(cells_[s]);
+    }
+  }
+
+  size_t MemoryBytes() const {
+    return cells_.capacity() * sizeof(Item) +
+           used_.capacity() * sizeof(uint8_t);
+  }
+
+ private:
+  size_t Bucket(const BobHash& h, NodeId key) const {
+    return (static_cast<size_t>(h(key)) % num_buckets_) * cells_per_bucket_;
+  }
+
+  size_t FreeCellIn(size_t b1, size_t b2) const {
+    for (size_t s = b1; s < b1 + cells_per_bucket_; ++s) {
+      if (!used_[s]) return s;
+    }
+    if (b2 != b1) {
+      for (size_t s = b2; s < b2 + cells_per_bucket_; ++s) {
+        if (!used_[s]) return s;
+      }
+    }
+    return kNoSlot;
+  }
+
+  size_t num_buckets_;
+  size_t cells_per_bucket_;
+  std::vector<Item> cells_;
+  std::vector<uint8_t> used_;
+  size_t size_ = 0;
+};
+
+}  // namespace cuckoograph::internal
+
+#endif  // CUCKOOGRAPH_CORE_INTERNAL_CUCKOO_TABLE_H_

@@ -1,0 +1,18 @@
+#include "core/weighted_cuckoo_graph.h"
+
+namespace cuckoograph {
+
+WeightedCuckooGraph::WeightedCuckooGraph() : CuckooGraph() {}
+
+WeightedCuckooGraph::WeightedCuckooGraph(const Config& config)
+    : CuckooGraph(config) {}
+
+uint64_t WeightedCuckooGraph::AddEdge(NodeId u, NodeId v) {
+  return AddEdgeWeight(u, v, 1);
+}
+
+uint64_t WeightedCuckooGraph::QueryWeight(NodeId u, NodeId v) const {
+  return GetEdgeWeight(u, v);
+}
+
+}  // namespace cuckoograph

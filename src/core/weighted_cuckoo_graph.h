@@ -1,0 +1,33 @@
+// The extended (weighted) CuckooGraph of Section V-A: duplicate arrivals
+// accumulate as edge weight instead of being dropped, which is what the
+// duplicate-heavy streams (CAIDA, StackOverflow, WikiTalk) need.
+#ifndef CUCKOOGRAPH_CORE_WEIGHTED_CUCKOO_GRAPH_H_
+#define CUCKOOGRAPH_CORE_WEIGHTED_CUCKOO_GRAPH_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.h"
+#include "core/config.h"
+#include "core/cuckoo_graph.h"
+
+namespace cuckoograph {
+
+class WeightedCuckooGraph : public CuckooGraph {
+ public:
+  WeightedCuckooGraph();
+  explicit WeightedCuckooGraph(const Config& config);
+
+  std::string_view name() const override { return "WeightedCuckooGraph"; }
+
+  // Adds one arrival of <u, v>: inserts the edge with weight 1 if absent,
+  // otherwise increments its weight. Returns the resulting weight.
+  uint64_t AddEdge(NodeId u, NodeId v);
+
+  // Accumulated weight of <u, v>, or 0 if the edge is absent.
+  uint64_t QueryWeight(NodeId u, NodeId v) const;
+};
+
+}  // namespace cuckoograph
+
+#endif  // CUCKOOGRAPH_CORE_WEIGHTED_CUCKOO_GRAPH_H_

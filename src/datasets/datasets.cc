@@ -1,0 +1,196 @@
+#include "datasets/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace cuckoograph::datasets {
+namespace {
+
+// Full-scale (scale == 1.0) arrival counts, sized after Table IV.
+constexpr size_t kCaidaArrivals = 27'000'000;
+constexpr size_t kNotreDameArrivals = 1'500'000;
+constexpr size_t kStackOverflowArrivals = 63'500'000;
+constexpr size_t kWikiTalkArrivals = 25'000'000;
+constexpr size_t kWeiboArrivals = 260'000'000;
+constexpr size_t kDenseArrivals = 57'500'000;
+constexpr size_t kSparseArrivals = 30'000'000;
+
+size_t ScaledArrivals(size_t base, double scale) {
+  const double clamped = std::min(1.0, std::max(1e-9, scale));
+  const double arrivals = static_cast<double>(base) * clamped;
+  return std::max<size_t>(1, static_cast<size_t>(std::llround(arrivals)));
+}
+
+// Skewed node pick: alpha > 1 concentrates probability on low ids.
+NodeId ZipfNode(SplitMix64& rng, size_t n, double alpha) {
+  const double r = std::pow(rng.NextDouble(), alpha);
+  const size_t id = static_cast<size_t>(r * static_cast<double>(n));
+  return static_cast<NodeId>(std::min(id, n - 1));
+}
+
+// Power-law interaction stream: both endpoints drawn with the given skews
+// from an `arrivals / nodes_divisor`-sized vertex set.
+Dataset PowerLawStream(const std::string& name, bool weighted, size_t base,
+                       double scale, size_t nodes_divisor, double alpha_u,
+                       double alpha_v, uint64_t seed) {
+  Dataset dataset;
+  dataset.name = name;
+  dataset.weighted = weighted;
+  const size_t arrivals = ScaledArrivals(base, scale);
+  const size_t nodes = std::max<size_t>(2, arrivals / nodes_divisor);
+  SplitMix64 rng(seed);
+  dataset.stream.reserve(arrivals);
+  for (size_t i = 0; i < arrivals; ++i) {
+    const NodeId u = ZipfNode(rng, nodes, alpha_u);
+    NodeId v = ZipfNode(rng, nodes, alpha_v);
+    if (v == u) v = static_cast<NodeId>((v + 1) % nodes);
+    dataset.stream.push_back(Edge{u, v});
+  }
+  return dataset;
+}
+
+// CAIDA-like IP trace: a bounded set of flows, each repeated many times
+// (the stream is ~32x its distinct edge set), with elephant flows.
+Dataset CaidaStream(double scale) {
+  Dataset dataset;
+  dataset.name = "CAIDA";
+  dataset.weighted = true;
+  const size_t arrivals = ScaledArrivals(kCaidaArrivals, scale);
+  const size_t pool_size = std::max<size_t>(1, arrivals / 32);
+  SplitMix64 rng(0xC41DAULL);
+  std::vector<Edge> pool;
+  pool.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    const NodeId u = rng.NextBelow(pool_size);
+    NodeId v = rng.NextBelow(pool_size);
+    if (v == u) v = static_cast<NodeId>((v + 1) % pool_size);
+    pool.push_back(Edge{u, v});
+  }
+  dataset.stream.reserve(arrivals);
+  for (size_t i = 0; i < arrivals; ++i) {
+    const size_t flow = static_cast<size_t>(
+        ZipfNode(rng, pool_size, /*alpha=*/2.0));
+    dataset.stream.push_back(pool[flow]);
+  }
+  return dataset;
+}
+
+// DenseGraph: a ~0.9-density directed graph on ceil(sqrt(|E|/0.9)) nodes.
+Dataset DenseStream(double scale) {
+  Dataset dataset;
+  dataset.name = "DenseGraph";
+  dataset.weighted = false;
+  const size_t arrivals = ScaledArrivals(kDenseArrivals, scale);
+  const size_t nodes = std::max<size_t>(
+      2, static_cast<size_t>(
+             std::ceil(std::sqrt(static_cast<double>(arrivals) / 0.9))));
+  SplitMix64 rng(0xDE45EULL);
+  dataset.stream.reserve(arrivals);
+  for (size_t u = 0; u < nodes && dataset.stream.size() < arrivals; ++u) {
+    for (size_t v = 0; v < nodes && dataset.stream.size() < arrivals; ++v) {
+      if (u == v) continue;
+      if (rng.NextDouble() < 0.9) {
+        dataset.stream.push_back(
+            Edge{static_cast<NodeId>(u), static_cast<NodeId>(v)});
+      }
+    }
+  }
+  return dataset;
+}
+
+// SparseGraph: uniform random pairs over a node set half the stream size.
+Dataset SparseStream(double scale) {
+  Dataset dataset;
+  dataset.name = "SparseGraph";
+  dataset.weighted = false;
+  const size_t arrivals = ScaledArrivals(kSparseArrivals, scale);
+  const size_t nodes = std::max<size_t>(2, arrivals / 2);
+  SplitMix64 rng(0x54A45EULL);
+  dataset.stream.reserve(arrivals);
+  for (size_t i = 0; i < arrivals; ++i) {
+    const NodeId u = rng.NextBelow(nodes);
+    NodeId v = rng.NextBelow(nodes);
+    if (v == u) v = static_cast<NodeId>((v + 1) % nodes);
+    dataset.stream.push_back(Edge{u, v});
+  }
+  return dataset;
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllDatasetNames() {
+  static const std::vector<std::string> names = {
+      "CAIDA",      "NotreDame",  "StackOverflow", "WikiTalk",
+      "Weibo",      "DenseGraph", "SparseGraph"};
+  return names;
+}
+
+Dataset MakeByName(const std::string& name, double scale) {
+  if (name == "CAIDA") return CaidaStream(scale);
+  if (name == "NotreDame") {
+    return PowerLawStream(name, false, kNotreDameArrivals, scale,
+                          /*nodes_divisor=*/5, 1.6, 1.6, 0x0DA4EULL);
+  }
+  if (name == "StackOverflow") {
+    return PowerLawStream(name, true, kStackOverflowArrivals, scale,
+                          /*nodes_divisor=*/25, 1.8, 1.8, 0x50F10ULL);
+  }
+  if (name == "WikiTalk") {
+    return PowerLawStream(name, true, kWikiTalkArrivals, scale,
+                          /*nodes_divisor=*/10, 2.2, 1.3, 0x311C1ULL);
+  }
+  if (name == "Weibo") {
+    return PowerLawStream(name, false, kWeiboArrivals, scale,
+                          /*nodes_divisor=*/160, 1.3, 1.1, 0x3E1B0ULL);
+  }
+  if (name == "DenseGraph") return DenseStream(scale);
+  if (name == "SparseGraph") return SparseStream(scale);
+  Dataset empty;
+  empty.name = name;
+  return empty;
+}
+
+std::vector<Edge> DedupEdges(const std::vector<Edge>& stream) {
+  std::vector<Edge> distinct;
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(stream.size());
+  for (const Edge& e : stream) {
+    if (seen.insert(EdgeKey(e)).second) distinct.push_back(e);
+  }
+  return distinct;
+}
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.stream_edges = dataset.stream.size();
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(dataset.stream.size());
+  std::unordered_map<NodeId, size_t> degree;
+  for (const Edge& e : dataset.stream) {
+    if (!seen.insert(EdgeKey(e)).second) continue;
+    ++stats.distinct_edges;
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  stats.nodes = degree.size();
+  for (const auto& [node, deg] : degree) {
+    (void)node;
+    stats.max_total_degree = std::max(stats.max_total_degree, deg);
+  }
+  if (stats.nodes > 0) {
+    stats.avg_degree = 2.0 * static_cast<double>(stats.distinct_edges) /
+                       static_cast<double>(stats.nodes);
+  }
+  if (stats.nodes > 1) {
+    stats.density = static_cast<double>(stats.distinct_edges) /
+                    (static_cast<double>(stats.nodes) *
+                     static_cast<double>(stats.nodes - 1));
+  }
+  return stats;
+}
+
+}  // namespace cuckoograph::datasets

@@ -1,0 +1,49 @@
+// Synthetic stand-ins for the Table IV dataset roster. Each generator is
+// deterministic (same name and scale always produce the same stream) and
+// parameterized so that `scale` linearly controls the stream length while
+// the dataset's character (duplication ratio, skew, density) is preserved.
+#ifndef CUCKOOGRAPH_DATASETS_DATASETS_H_
+#define CUCKOOGRAPH_DATASETS_DATASETS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cuckoograph::datasets {
+
+struct Dataset {
+  std::string name;
+  // True for streams with meaningful edge multiplicity (handled by the
+  // weighted store in the paper's experiments).
+  bool weighted = false;
+  std::vector<Edge> stream;
+};
+
+struct DatasetStats {
+  size_t nodes = 0;
+  size_t stream_edges = 0;
+  size_t distinct_edges = 0;
+  double avg_degree = 0.0;       // average total degree, 2|E|/|V|
+  size_t max_total_degree = 0;   // max in-degree + out-degree
+  double density = 0.0;          // |E| / (|V| * (|V| - 1))
+};
+
+// The Table IV roster, in presentation order.
+const std::vector<std::string>& AllDatasetNames();
+
+// Generates dataset `name` with the stream length scaled by `scale`
+// (1.0 reproduces the paper's full size). Unknown names return an empty
+// stream. Scale is clamped to (0, 1].
+Dataset MakeByName(const std::string& name, double scale);
+
+// Distinct edges of a stream, first-occurrence order preserved.
+std::vector<Edge> DedupEdges(const std::vector<Edge>& stream);
+
+// Measured Table IV columns for a generated dataset.
+DatasetStats ComputeStats(const Dataset& dataset);
+
+}  // namespace cuckoograph::datasets
+
+#endif  // CUCKOOGRAPH_DATASETS_DATASETS_H_

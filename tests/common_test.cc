@@ -1,0 +1,92 @@
+// Unit tests for the common/ primitives: hashing, RNG, timing, types.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bob_hash.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "common/types.h"
+
+namespace cuckoograph {
+namespace {
+
+TEST(BobHashTest, DeterministicForSameSeed) {
+  BobHash a(7);
+  BobHash b(7);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_EQ(a(key), b(key));
+  }
+}
+
+TEST(BobHashTest, SeedsProduceDifferentFunctions) {
+  BobHash a(1);
+  BobHash b(2);
+  int differing = 0;
+  for (uint64_t key = 0; key < 1000; ++key) {
+    if (a(key) != b(key)) ++differing;
+  }
+  EXPECT_GT(differing, 990);
+}
+
+TEST(BobHashTest, SpreadsSequentialKeys) {
+  BobHash hash(3);
+  std::set<uint32_t> buckets;
+  for (uint64_t key = 0; key < 1024; ++key) {
+    buckets.insert(hash(key) % 256);
+  }
+  // 1024 draws over 256 buckets leave ~5 empty in expectation; far fewer
+  // distinct buckets would mean the mixer clusters sequential keys.
+  EXPECT_GT(buckets.size(), 230u);
+}
+
+TEST(SplitMix64Test, DeterministicForSameSeed) {
+  SplitMix64 a(11);
+  SplitMix64 b(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64Test, NextBelowStaysInRange) {
+  SplitMix64 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+}
+
+TEST(SplitMix64Test, NextDoubleInUnitInterval) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(TimerTest, ElapsedIsNonNegativeAndResets) {
+  WallTimer timer;
+  const double first = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  timer.Reset();
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+}
+
+TEST(TimerTest, MopsHandlesZeroInterval) {
+  EXPECT_EQ(Mops(1000, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Mops(2'000'000, 1.0), 2.0);
+}
+
+TEST(TypesTest, EdgeEqualityAndKey) {
+  const Edge a{1, 2};
+  const Edge b{1, 2};
+  const Edge c{2, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(EdgeKey(a), EdgeKey(c));
+  EXPECT_EQ(EdgeKey(Edge{0xffffffffu, 0}), 0xffffffff00000000ULL);
+}
+
+}  // namespace
+}  // namespace cuckoograph

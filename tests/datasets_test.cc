@@ -1,0 +1,83 @@
+// Unit tests for the synthetic Table IV dataset generators.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "datasets/datasets.h"
+
+namespace cuckoograph::datasets {
+namespace {
+
+constexpr double kTinyScale = 0.0005;
+
+TEST(DatasetsTest, RosterMatchesTableFour) {
+  const auto& names = AllDatasetNames();
+  ASSERT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.front(), "CAIDA");
+  for (const std::string& name : names) {
+    const Dataset dataset = MakeByName(name, kTinyScale);
+    EXPECT_EQ(dataset.name, name);
+    EXPECT_FALSE(dataset.stream.empty()) << name;
+  }
+}
+
+TEST(DatasetsTest, SameSeedSameStream) {
+  for (const std::string& name : AllDatasetNames()) {
+    const Dataset a = MakeByName(name, kTinyScale);
+    const Dataset b = MakeByName(name, kTinyScale);
+    ASSERT_EQ(a.stream.size(), b.stream.size()) << name;
+    EXPECT_EQ(a.stream, b.stream) << name;
+  }
+}
+
+TEST(DatasetsTest, ScaleMultipliesStreamLength) {
+  for (const std::string& name : AllDatasetNames()) {
+    const Dataset small = MakeByName(name, kTinyScale);
+    const Dataset large = MakeByName(name, 2 * kTinyScale);
+    EXPECT_EQ(large.stream.size(), 2 * small.stream.size()) << name;
+  }
+}
+
+TEST(DatasetsTest, UnknownNameYieldsEmptyStream) {
+  const Dataset dataset = MakeByName("NoSuchDataset", 1.0);
+  EXPECT_TRUE(dataset.stream.empty());
+}
+
+TEST(DatasetsTest, DedupPreservesFirstOccurrenceOrder) {
+  const std::vector<Edge> stream = {{1, 2}, {3, 4}, {1, 2}, {5, 6}, {3, 4}};
+  const std::vector<Edge> distinct = DedupEdges(stream);
+  const std::vector<Edge> expected = {{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(distinct, expected);
+}
+
+TEST(DatasetsTest, CaidaStreamIsDuplicateHeavy) {
+  const Dataset caida = MakeByName("CAIDA", kTinyScale);
+  const DatasetStats stats = ComputeStats(caida);
+  EXPECT_TRUE(caida.weighted);
+  // The CAIDA-like trace repeats each flow ~32x on average.
+  EXPECT_GT(stats.stream_edges, 10 * stats.distinct_edges);
+}
+
+TEST(DatasetsTest, DenseGraphIsDense) {
+  const DatasetStats stats = ComputeStats(MakeByName("DenseGraph", 0.002));
+  EXPECT_GT(stats.density, 0.5);
+  EXPECT_LT(stats.nodes, 1000u);
+}
+
+TEST(DatasetsTest, ComputeStatsIsConsistent) {
+  for (const std::string& name : AllDatasetNames()) {
+    const Dataset dataset = MakeByName(name, kTinyScale);
+    const DatasetStats stats = ComputeStats(dataset);
+    EXPECT_EQ(stats.stream_edges, dataset.stream.size()) << name;
+    EXPECT_LE(stats.distinct_edges, stats.stream_edges) << name;
+    EXPECT_EQ(stats.distinct_edges, DedupEdges(dataset.stream).size())
+        << name;
+    EXPECT_GT(stats.nodes, 0u) << name;
+    EXPECT_GE(static_cast<double>(stats.max_total_degree),
+              stats.avg_degree)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace cuckoograph::datasets

@@ -1,0 +1,59 @@
+// Unit tests for the Flags argv parser used by every bench binary.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/flags.h"
+
+namespace cuckoograph {
+namespace {
+
+Flags MakeFlags(std::vector<const char*> args) {
+  args.insert(args.begin(), "binary");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(FlagsTest, ParsesEqualsSyntax) {
+  const Flags flags = MakeFlags({"--scale=2.5", "--max_edges=400000",
+                                 "--datasets=CAIDA"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 2.5);
+  EXPECT_EQ(flags.GetInt("max_edges", 0), 400000);
+  EXPECT_EQ(flags.GetString("datasets", ""), "CAIDA");
+}
+
+TEST(FlagsTest, ParsesSpaceSeparatedValues) {
+  const Flags flags = MakeFlags({"--scale", "0.25", "--checkpoints", "7"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.25);
+  EXPECT_EQ(flags.GetInt("checkpoints", 5), 7);
+}
+
+TEST(FlagsTest, MissingFlagsFallBackToDefaults) {
+  const Flags flags = MakeFlags({"--other=1"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.5), 1.5);
+  EXPECT_EQ(flags.GetInt("checkpoints", 5), 5);
+  EXPECT_EQ(flags.GetString("datasets", "all"), "all");
+  EXPECT_FALSE(flags.Has("scale"));
+  EXPECT_TRUE(flags.Has("other"));
+}
+
+TEST(FlagsTest, UnparsableValuesFallBackToDefaults) {
+  const Flags flags = MakeFlags({"--scale=abc", "--n=12x"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 3.0), 3.0);
+  EXPECT_EQ(flags.GetInt("n", 42), 42);
+}
+
+TEST(FlagsTest, NegativeAndBareFlags) {
+  const Flags flags = MakeFlags({"--delta", "-5", "--verbose"});
+  EXPECT_EQ(flags.GetInt("delta", 0), -5);
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_EQ(flags.GetInt("verbose", 9), 9);  // bare flag has no value
+}
+
+TEST(FlagsTest, LastOccurrenceWins) {
+  const Flags flags = MakeFlags({"--scale=1", "--scale=2"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 0.0), 2.0);
+}
+
+}  // namespace
+}  // namespace cuckoograph

@@ -1,0 +1,64 @@
+// Unit tests for the weighted (extended) CuckooGraph variant.
+#include <gtest/gtest.h>
+
+#include "core/weighted_cuckoo_graph.h"
+
+namespace cuckoograph {
+namespace {
+
+TEST(WeightedCuckooGraphTest, AddEdgeAccumulatesWeight) {
+  WeightedCuckooGraph graph;
+  EXPECT_EQ(graph.AddEdge(1, 2), 1u);
+  EXPECT_EQ(graph.AddEdge(1, 2), 2u);
+  EXPECT_EQ(graph.AddEdge(1, 2), 3u);
+  EXPECT_EQ(graph.QueryWeight(1, 2), 3u);
+  EXPECT_EQ(graph.NumEdges(), 1u);  // still one distinct edge
+}
+
+TEST(WeightedCuckooGraphTest, MissingEdgeHasZeroWeight) {
+  WeightedCuckooGraph graph;
+  graph.AddEdge(1, 2);
+  EXPECT_EQ(graph.QueryWeight(1, 3), 0u);
+  EXPECT_EQ(graph.QueryWeight(2, 1), 0u);
+}
+
+TEST(WeightedCuckooGraphTest, DeleteClearsWeight) {
+  WeightedCuckooGraph graph;
+  graph.AddEdge(1, 2);
+  graph.AddEdge(1, 2);
+  EXPECT_TRUE(graph.DeleteEdge(1, 2));
+  EXPECT_EQ(graph.QueryWeight(1, 2), 0u);
+  // Re-adding starts counting from scratch.
+  EXPECT_EQ(graph.AddEdge(1, 2), 1u);
+}
+
+TEST(WeightedCuckooGraphTest, InsertEdgeStaysIdempotent) {
+  WeightedCuckooGraph graph;
+  EXPECT_TRUE(graph.InsertEdge(4, 5));
+  EXPECT_FALSE(graph.InsertEdge(4, 5));
+  EXPECT_EQ(graph.QueryWeight(4, 5), 1u);
+  graph.AddEdge(4, 5);
+  EXPECT_EQ(graph.QueryWeight(4, 5), 2u);
+}
+
+TEST(WeightedCuckooGraphTest, WeightsSurviveTransformation) {
+  WeightedCuckooGraph graph;
+  // Push vertex 1 past the inline threshold while keeping weights.
+  for (NodeId v = 0; v < 100; ++v) {
+    graph.AddEdge(1, v + 10);
+    graph.AddEdge(1, v + 10);
+  }
+  for (NodeId v = 0; v < 100; ++v) {
+    EXPECT_EQ(graph.QueryWeight(1, v + 10), 2u) << v;
+  }
+}
+
+TEST(WeightedCuckooGraphTest, ReportsItsOwnName) {
+  WeightedCuckooGraph graph;
+  EXPECT_EQ(graph.name(), "WeightedCuckooGraph");
+  const GraphStore& store = graph;
+  EXPECT_EQ(store.name(), "WeightedCuckooGraph");
+}
+
+}  // namespace
+}  // namespace cuckoograph
