@@ -1,6 +1,9 @@
 #include "analytics_bench_util.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <memory>
+#include <stdexcept>
 
 #include "analytics/common.h"
 #include "baselines/store_factory.h"
@@ -16,7 +19,21 @@ int RunAnalyticsFigure(int argc, char** argv,
   const Flags flags(argc, argv);
   const double user_scale = flags.GetDouble("scale", 1.0);
   const std::string only_dataset = flags.GetString("datasets", "");
-  const std::string only_scheme = flags.GetString("schemes", "");
+  // --schemes takes a comma-separated subset; validation (with the list of
+  // valid names on error) is the factory's, same as MakeStoreByName.
+  std::vector<std::string> selected;
+  try {
+    selected = ParseSchemesFlag(flags.GetString("schemes", ""));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s: %s\n", spec.experiment.c_str(), e.what());
+    return 2;
+  }
+  MaybeOpenCsvFromFlags(flags);
+
+  const auto is_selected = [&selected](const std::string& scheme) {
+    return std::find(selected.begin(), selected.end(), scheme) !=
+           selected.end();
+  };
 
   PrintHeader(spec.experiment, spec.title + " — seconds per run",
               AllSchemeNames());
@@ -28,7 +45,7 @@ int RunAnalyticsFigure(int argc, char** argv,
     // Reference load: used only for node selection and subgraph extraction
     // so every scheme receives identical inputs.
     auto reference = MakeStoreByName("CuckooGraph");
-    for (const Edge& e : dataset.stream) reference->InsertEdge(e.u, e.v);
+    reference->InsertEdges(dataset.stream);
     const std::vector<NodeId> top_nodes =
         analytics::TopDegreeNodes(*reference, spec.subgraph_nodes);
     const std::vector<Edge> subgraph_edges =
@@ -37,22 +54,20 @@ int RunAnalyticsFigure(int argc, char** argv,
 
     std::vector<std::string> row{dataset_name};
     for (const std::string& scheme : AllSchemeNames()) {
-      if (!only_scheme.empty() && only_scheme != scheme) {
+      if (!is_selected(scheme)) {
         row.push_back("-");
         continue;
       }
       auto store = MakeStoreByName(scheme);
-      if (spec.subgraph_only) {
-        for (const Edge& e : subgraph_edges) store->InsertEdge(e.u, e.v);
-      } else {
-        for (const Edge& e : dataset.stream) store->InsertEdge(e.u, e.v);
-      }
+      store->InsertEdges(spec.subgraph_only ? Span<const Edge>(subgraph_edges)
+                                            : Span<const Edge>(dataset.stream));
       WallTimer timer;
       spec.kernel(*store, top_nodes);
       row.push_back(FmtSeconds(timer.ElapsedSeconds()));
     }
     PrintRow(spec.experiment, row);
   }
+  CloseCsv();
   return 0;
 }
 

@@ -24,8 +24,10 @@ struct AnalyticsFigureSpec {
   std::function<void(const GraphStore&, const std::vector<NodeId>&)> kernel;
 };
 
-// Parses --scale / --datasets / --schemes flags, runs the spec over every
-// dataset x scheme, and prints one row per dataset (columns = schemes).
+// Parses --scale / --datasets / --schemes / --csv flags, runs the spec over
+// every dataset x scheme, and prints one row per dataset (columns =
+// schemes). --schemes takes a comma-separated subset of AllSchemeNames();
+// an unknown entry aborts with the factory's valid-scheme listing.
 int RunAnalyticsFigure(int argc, char** argv, const AnalyticsFigureSpec& spec);
 
 }  // namespace cuckoograph::bench

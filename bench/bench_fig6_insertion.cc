@@ -4,13 +4,13 @@
 #include "baselines/store_factory.h"
 #include "bench_util.h"
 #include "common/flags.h"
-#include "common/timer.h"
 #include "datasets/datasets.h"
 
 int main(int argc, char** argv) {
   using namespace cuckoograph;
   const Flags flags(argc, argv);
   const double user_scale = flags.GetDouble("scale", 1.0);
+  bench::MaybeOpenCsvFromFlags(flags);
 
   bench::PrintHeader("fig6", "Insertion throughput (Mops, higher is better)",
                      AllSchemeNames());
@@ -20,13 +20,12 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{dataset_name};
     for (const std::string& scheme : AllSchemeNames()) {
       auto store = MakeStoreByName(scheme);
-      WallTimer timer;
-      for (const Edge& e : dataset.stream) store->InsertEdge(e.u, e.v);
-      row.push_back(
-          bench::FmtMops(Mops(dataset.stream.size(),
-                              timer.ElapsedSeconds())));
+      const bench::BasicTaskResult result =
+          bench::RunBasicTasks(*store, dataset, bench::BasicPhase::kInsert);
+      row.push_back(bench::FmtMops(result.insert_mops));
     }
     bench::PrintRow("fig6", row);
   }
+  bench::CloseCsv();
   return 0;
 }

@@ -3,13 +3,13 @@
 #include "baselines/store_factory.h"
 #include "bench_util.h"
 #include "common/flags.h"
-#include "common/timer.h"
 #include "datasets/datasets.h"
 
 int main(int argc, char** argv) {
   using namespace cuckoograph;
   const Flags flags(argc, argv);
   const double user_scale = flags.GetDouble("scale", 1.0);
+  bench::MaybeOpenCsvFromFlags(flags);
 
   bench::PrintHeader("fig7", "Query throughput (Mops, higher is better)",
                      AllSchemeNames());
@@ -19,16 +19,12 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{dataset_name};
     for (const std::string& scheme : AllSchemeNames()) {
       auto store = MakeStoreByName(scheme);
-      for (const Edge& e : dataset.stream) store->InsertEdge(e.u, e.v);
-      WallTimer timer;
-      size_t hits = 0;
-      for (const Edge& e : dataset.stream) hits += store->QueryEdge(e.u, e.v);
-      row.push_back(
-          bench::FmtMops(Mops(dataset.stream.size(),
-                              timer.ElapsedSeconds())));
-      (void)hits;
+      const bench::BasicTaskResult result =
+          bench::RunBasicTasks(*store, dataset, bench::BasicPhase::kQuery);
+      row.push_back(bench::FmtMops(result.query_mops));
     }
     bench::PrintRow("fig7", row);
   }
+  bench::CloseCsv();
   return 0;
 }

@@ -1,15 +1,16 @@
 // Figure 8: deletion throughput (Mops) of all schemes on the seven datasets
-// (Section V-D methodology step 3: delete edges one by one).
+// (Section V-D methodology step 3: delete edges one by one). Schemes whose
+// Capabilities() rule deletions out print "-" instead of a number.
 #include "baselines/store_factory.h"
 #include "bench_util.h"
 #include "common/flags.h"
-#include "common/timer.h"
 #include "datasets/datasets.h"
 
 int main(int argc, char** argv) {
   using namespace cuckoograph;
   const Flags flags(argc, argv);
   const double user_scale = flags.GetDouble("scale", 1.0);
+  bench::MaybeOpenCsvFromFlags(flags);
 
   bench::PrintHeader("fig8", "Deletion throughput (Mops, higher is better)",
                      AllSchemeNames());
@@ -20,13 +21,16 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{dataset_name};
     for (const std::string& scheme : AllSchemeNames()) {
       auto store = MakeStoreByName(scheme);
-      for (const Edge& e : dataset.stream) store->InsertEdge(e.u, e.v);
-      WallTimer timer;
-      for (const Edge& e : distinct) store->DeleteEdge(e.u, e.v);
-      row.push_back(
-          bench::FmtMops(Mops(distinct.size(), timer.ElapsedSeconds())));
+      if (!store->Capabilities().deletions) {
+        row.push_back("-");
+        continue;
+      }
+      const bench::BasicTaskResult result = bench::RunBasicTasks(
+          *store, dataset, bench::BasicPhase::kDelete, &distinct);
+      row.push_back(bench::FmtMops(result.delete_mops));
     }
     bench::PrintRow("fig8", row);
   }
+  bench::CloseCsv();
   return 0;
 }

@@ -4,6 +4,7 @@
 // the per-op numbers quoted in EXPERIMENTS.md.
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <vector>
 
 #include "common/bob_hash.h"
@@ -89,6 +90,13 @@ void BM_DeleteInsertChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_DeleteInsertChurn)->Arg(50'000);
 
+// ---- Neighbor-scan guard: the v2 cursor redesign vs the v1 call shape ----
+// BM_SuccessorIteration uses the template ForEachNeighbor (inlined callable,
+// one virtual Next() per block). BM_SuccessorIterationStdFunction forces the
+// callback through std::function — the per-edge type-erased dispatch the v1
+// interface imposed — and BM_SuccessorIterationRawCursor drains the cursor
+// by hand. The spread between the two is the redesign's win.
+
 void BM_SuccessorIteration(benchmark::State& state) {
   CuckooGraph graph;
   const size_t degree = static_cast<size_t>(state.range(0));
@@ -102,6 +110,54 @@ void BM_SuccessorIteration(benchmark::State& state) {
                           static_cast<int64_t>(degree));
 }
 BENCHMARK(BM_SuccessorIteration)->Arg(6)->Arg(1'000)->Arg(100'000);
+
+void BM_SuccessorIterationStdFunction(benchmark::State& state) {
+  CuckooGraph graph;
+  const size_t degree = static_cast<size_t>(state.range(0));
+  for (NodeId v = 0; v < degree; ++v) graph.InsertEdge(1, v + 10);
+  size_t count = 0;
+  const std::function<void(NodeId)> fn = [&count](NodeId) { ++count; };
+  for (auto _ : state) {
+    count = 0;
+    graph.ForEachNeighbor(1, fn);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(degree));
+}
+BENCHMARK(BM_SuccessorIterationStdFunction)->Arg(6)->Arg(1'000)->Arg(100'000);
+
+void BM_SuccessorIterationRawCursor(benchmark::State& state) {
+  CuckooGraph graph;
+  const size_t degree = static_cast<size_t>(state.range(0));
+  for (NodeId v = 0; v < degree; ++v) graph.InsertEdge(1, v + 10);
+  for (auto _ : state) {
+    size_t count = 0;
+    NodeId block[NeighborCursor::kBlockSize];
+    auto cursor = graph.Neighbors(1);
+    size_t n;
+    while ((n = cursor->Next(block, NeighborCursor::kBlockSize)) > 0) {
+      count += n;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(degree));
+}
+BENCHMARK(BM_SuccessorIterationRawCursor)->Arg(6)->Arg(1'000)->Arg(100'000);
+
+void BM_InsertEdgesBatch(benchmark::State& state) {
+  const auto workload = MakeWorkload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    CuckooGraph graph;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(graph.InsertEdges(workload));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(workload.size()));
+}
+BENCHMARK(BM_InsertEdgesBatch)->Arg(100'000);
 
 void BM_WeightedAdd(benchmark::State& state) {
   WeightedCuckooGraph graph;

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const size_t max_edges =
       static_cast<size_t>(flags.GetInt("max_edges", 400'000));
+  bench::MaybeOpenCsvFromFlags(flags);
 
   std::printf("== table3: analytic complexity (paper Table III) ==\n");
   std::printf("%-14s%20s%20s%16s\n", "Algorithm", "Insert <u,v>",
@@ -70,5 +71,6 @@ int main(int argc, char** argv) {
                                  insert_buf, query_buf, bpe_buf});
     }
   }
+  bench::CloseCsv();
   return 0;
 }

@@ -4,6 +4,47 @@
 
 namespace cuckoograph::bench {
 
+namespace {
+
+// The --csv capture target; null when capture is off.
+std::FILE* csv_file = nullptr;
+
+void CsvWriteLine(const std::string& experiment, const std::string& label,
+                  const std::vector<std::string>& cells) {
+  if (csv_file == nullptr) return;
+  std::fprintf(csv_file, "%s", experiment.c_str());
+  if (!label.empty()) std::fprintf(csv_file, ",%s", label.c_str());
+  for (const std::string& cell : cells) {
+    std::fprintf(csv_file, ",%s", cell.c_str());
+  }
+  std::fprintf(csv_file, "\n");
+}
+
+}  // namespace
+
+bool OpenCsv(const std::string& path) {
+  CloseCsv();
+  csv_file = std::fopen(path.c_str(), "w");
+  if (csv_file == nullptr) {
+    std::fprintf(stderr, "warning: cannot open --csv file %s\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void CloseCsv() {
+  if (csv_file != nullptr) {
+    std::fclose(csv_file);
+    csv_file = nullptr;
+  }
+}
+
+void MaybeOpenCsvFromFlags(const Flags& flags) {
+  const std::string path = flags.GetString("csv", "");
+  if (!path.empty()) OpenCsv(path);
+}
+
 double DatasetScale(const std::string& name, double user_scale) {
   // Defaults keep each dataset's stream near 10^5 arrivals while retaining
   // its duplication ratio and skew (see DESIGN.md, substitutions).
@@ -32,6 +73,10 @@ void PrintHeader(const std::string& experiment, const std::string& title,
   std::printf("%-14s", "");
   for (const std::string& col : columns) std::printf("%16s", col.c_str());
   std::printf("\n");
+  if (csv_file != nullptr) {
+    std::fprintf(csv_file, "# %s: %s\n", experiment.c_str(), title.c_str());
+    CsvWriteLine(experiment, "label", columns);
+  }
 }
 
 void PrintRow(const std::string& experiment,
@@ -45,6 +90,7 @@ void PrintRow(const std::string& experiment,
   for (const std::string& cell : cells) std::printf(",%s", cell.c_str());
   std::printf("\n");
   std::fflush(stdout);
+  CsvWriteLine(experiment, "", cells);
 }
 
 std::string FmtMops(double mops) {
@@ -67,30 +113,42 @@ std::string FmtSeconds(double seconds) {
 }
 
 BasicTaskResult RunBasicTasks(GraphStore& store,
-                              const datasets::Dataset& dataset) {
+                              const datasets::Dataset& dataset,
+                              BasicPhase phases,
+                              const std::vector<Edge>* distinct) {
   BasicTaskResult result;
-  // 1) Insert the full arrival stream.
+  // 1) Insert the full arrival stream, one edge at a time: the figures
+  // measure stream processing, not batch loading.
   WallTimer timer;
   for (const Edge& e : dataset.stream) store.InsertEdge(e.u, e.v);
   result.insert_mops = Mops(dataset.stream.size(), timer.ElapsedSeconds());
   result.memory_bytes = store.MemoryBytes();
 
   // 2) Query every stream edge (all hits, mirroring the paper).
-  timer.Reset();
-  size_t hits = 0;
-  for (const Edge& e : dataset.stream) hits += store.QueryEdge(e.u, e.v);
-  result.query_mops = Mops(dataset.stream.size(), timer.ElapsedSeconds());
-  if (hits != dataset.stream.size()) {
-    std::fprintf(stderr, "warning: %s missed %zu queries\n",
-                 std::string(store.name()).c_str(),
-                 dataset.stream.size() - hits);
+  if (phases == BasicPhase::kQuery || phases == BasicPhase::kAll) {
+    timer.Reset();
+    size_t hits = 0;
+    for (const Edge& e : dataset.stream) hits += store.QueryEdge(e.u, e.v);
+    result.query_mops = Mops(dataset.stream.size(), timer.ElapsedSeconds());
+    if (hits != dataset.stream.size()) {
+      std::fprintf(stderr, "warning: %s missed %zu queries\n",
+                   std::string(store.name()).c_str(),
+                   dataset.stream.size() - hits);
+    }
   }
 
-  // 3) Delete the distinct edges one by one.
-  const std::vector<Edge> distinct = datasets::DedupEdges(dataset.stream);
-  timer.Reset();
-  for (const Edge& e : distinct) store.DeleteEdge(e.u, e.v);
-  result.delete_mops = Mops(distinct.size(), timer.ElapsedSeconds());
+  // 3) Delete the distinct edges, schemes that support deletion only.
+  if ((phases == BasicPhase::kDelete || phases == BasicPhase::kAll) &&
+      store.Capabilities().deletions) {
+    std::vector<Edge> local;
+    if (distinct == nullptr) {
+      local = datasets::DedupEdges(dataset.stream);
+      distinct = &local;
+    }
+    timer.Reset();
+    for (const Edge& e : *distinct) store.DeleteEdge(e.u, e.v);
+    result.delete_mops = Mops(distinct->size(), timer.ElapsedSeconds());
+  }
   return result;
 }
 

@@ -34,6 +34,20 @@ void PrintHeader(const std::string& experiment, const std::string& title,
 void PrintRow(const std::string& experiment,
               const std::vector<std::string>& cells);
 
+// ---- CSV capture (--csv <path>) -------------------------------------------
+// When a capture file is open, every PrintHeader writes a column row and
+// every PrintRow appends a data row to it, in addition to stdout.
+
+// Opens (truncates) `path` as the CSV capture target. Returns false and
+// leaves capture off when the file cannot be created.
+bool OpenCsv(const std::string& path);
+
+// Flushes and closes the capture file (no-op when none is open).
+void CloseCsv();
+
+// Opens the file named by --csv when the flag is present.
+void MaybeOpenCsvFromFlags(const Flags& flags);
+
 // Formats helpers.
 std::string FmtMops(double mops);
 std::string FmtMb(size_t bytes);
@@ -48,10 +62,22 @@ struct BasicTaskResult {
   size_t memory_bytes = 0;  // after all distinct edges are inserted
 };
 
-// Runs the Section V-D methodology on one store: insert the full stream,
-// query every stream edge, then delete the distinct edges one by one.
+// Which phases to time. Insertion always runs (it populates the store);
+// kQuery adds the query pass, kDelete adds the deletion pass (without the
+// query pass fig8 does not report), kAll runs all three.
+enum class BasicPhase { kInsert, kQuery, kDelete, kAll };
+
+// Runs the Section V-D methodology on one store, timing each phase edge-
+// at-a-time: insert the full stream, query every stream edge, delete the
+// distinct edges — running only the phases `phases` selects, so a figure
+// pays for exactly what it reports. The deletion phase is also skipped
+// (delete_mops stays 0) when the store's Capabilities() rule deletions
+// out. Callers looping over schemes should pass the dataset's dedup list
+// as `distinct` so it is not recomputed per scheme.
 BasicTaskResult RunBasicTasks(GraphStore& store,
-                              const datasets::Dataset& dataset);
+                              const datasets::Dataset& dataset,
+                              BasicPhase phases = BasicPhase::kAll,
+                              const std::vector<Edge>* distinct = nullptr);
 
 }  // namespace cuckoograph::bench
 

@@ -19,6 +19,7 @@ int RunParamSweep(int argc, char** argv, const std::string& experiment,
   const double user_scale = flags.GetDouble("scale", 1.0);
   const int checkpoints =
       std::max(1, static_cast<int>(flags.GetInt("checkpoints", 5)));
+  MaybeOpenCsvFromFlags(flags);
 
   // The paper tunes on CAIDA; it has duplicates, so the extended
   // (weighted) version of CuckooGraph is used (Section V-A).
@@ -105,6 +106,7 @@ int RunParamSweep(int argc, char** argv, const std::string& experiment,
     for (auto& graph : graphs) row.push_back(FmtMb(graph->MemoryBytes()));
     PrintRow(experiment, row);
   }
+  CloseCsv();
   return 0;
 }
 

@@ -19,7 +19,7 @@ namespace cuckoograph::bench {
 using ParamVariant = std::pair<std::string, Config>;
 
 // Runs all variants and prints the three blocks of the figure. `experiment`
-// tags the rows (e.g. "fig2"). Flags: --scale, --checkpoints.
+// tags the rows (e.g. "fig2"). Flags: --scale, --checkpoints, --csv.
 int RunParamSweep(int argc, char** argv, const std::string& experiment,
                   const std::string& what,
                   const std::vector<ParamVariant>& variants);

@@ -1,0 +1,39 @@
+#include "analytics/common.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+namespace cuckoograph::analytics {
+
+std::vector<NodeId> TopDegreeNodes(const GraphStore& store, size_t k) {
+  std::vector<std::pair<size_t, NodeId>> degrees;
+  degrees.reserve(store.NumNodes());
+  store.ForEachNode([&store, &degrees](NodeId u) {
+    degrees.emplace_back(store.OutDegree(u), u);
+  });
+  const size_t take = std::min(k, degrees.size());
+  std::partial_sort(degrees.begin(), degrees.begin() + take, degrees.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first != b.first ? a.first > b.first
+                                                : a.second < b.second;
+                    });
+  std::vector<NodeId> top;
+  top.reserve(take);
+  for (size_t i = 0; i < take; ++i) top.push_back(degrees[i].second);
+  return top;
+}
+
+std::vector<Edge> InducedSubgraph(const GraphStore& store,
+                                  const std::vector<NodeId>& nodes) {
+  const std::unordered_set<NodeId> keep(nodes.begin(), nodes.end());
+  std::vector<Edge> edges;
+  for (const NodeId u : nodes) {
+    store.ForEachNeighbor(u, [&keep, &edges, u](NodeId v) {
+      if (keep.count(v) != 0) edges.push_back(Edge{u, v});
+    });
+  }
+  return edges;
+}
+
+}  // namespace cuckoograph::analytics

@@ -1,0 +1,27 @@
+// Shared helpers of the graph-analytics layer (Section V-E): top-degree
+// node selection and induced-subgraph extraction, both written against the
+// abstract GraphStore v2 cursors so every scheme can serve them. The
+// kernels themselves (BFS, SSSP, TC, CC, PR, BC, LCC) are still open
+// ROADMAP items.
+#ifndef CUCKOOGRAPH_ANALYTICS_COMMON_H_
+#define CUCKOOGRAPH_ANALYTICS_COMMON_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "core/graph_store.h"
+
+namespace cuckoograph::analytics {
+
+// The `k` vertices with the highest out-degree, degree-descending with
+// NodeId ascending as the tie-break (deterministic across schemes).
+std::vector<NodeId> TopDegreeNodes(const GraphStore& store, size_t k);
+
+// Every stored edge <u, v> with both endpoints in `nodes`.
+std::vector<Edge> InducedSubgraph(const GraphStore& store,
+                                  const std::vector<NodeId>& nodes);
+
+}  // namespace cuckoograph::analytics
+
+#endif  // CUCKOOGRAPH_ANALYTICS_COMMON_H_

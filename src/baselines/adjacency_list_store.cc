@@ -1,0 +1,68 @@
+#include "baselines/adjacency_list_store.h"
+
+#include <algorithm>
+
+#include "baselines/cursors.h"
+
+namespace cuckoograph::baselines {
+
+bool AdjacencyListStore::InsertEdge(NodeId u, NodeId v) {
+  std::vector<NodeId>& vec = adj_[u];
+  if (std::find(vec.begin(), vec.end(), v) != vec.end()) return false;
+  vec.push_back(v);
+  ++num_edges_;
+  return true;
+}
+
+bool AdjacencyListStore::QueryEdge(NodeId u, NodeId v) const {
+  const auto it = adj_.find(u);
+  if (it == adj_.end()) return false;
+  const std::vector<NodeId>& vec = it->second;
+  return std::find(vec.begin(), vec.end(), v) != vec.end();
+}
+
+bool AdjacencyListStore::DeleteEdge(NodeId u, NodeId v) {
+  const auto it = adj_.find(u);
+  if (it == adj_.end()) return false;
+  std::vector<NodeId>& vec = it->second;
+  const auto pos = std::find(vec.begin(), vec.end(), v);
+  if (pos == vec.end()) return false;
+  *pos = vec.back();
+  vec.pop_back();
+  if (vec.empty()) adj_.erase(it);
+  --num_edges_;
+  return true;
+}
+
+std::unique_ptr<NeighborCursor> AdjacencyListStore::Neighbors(
+    NodeId u) const {
+  const auto it = adj_.find(u);
+  if (it == adj_.end()) return std::make_unique<EmptyNeighborCursor>();
+  return std::make_unique<VectorNeighborCursor>(
+      it->second.data(), it->second.data() + it->second.size());
+}
+
+std::unique_ptr<NeighborCursor> AdjacencyListStore::Nodes() const {
+  return std::make_unique<MapKeyCursor<decltype(adj_)>>(adj_);
+}
+
+size_t AdjacencyListStore::OutDegree(NodeId u) const {
+  const auto it = adj_.find(u);
+  return it == adj_.end() ? 0 : it->second.size();
+}
+
+size_t AdjacencyListStore::MemoryBytes() const {
+  // Hash-map node + two pointers of bucket overhead per vertex, plus each
+  // adjacency vector's heap block.
+  size_t bytes = sizeof(*this);
+  bytes += adj_.bucket_count() * sizeof(void*);
+  for (const auto& [u, vec] : adj_) {
+    (void)u;
+    bytes += sizeof(std::pair<const NodeId, std::vector<NodeId>>) +
+             2 * sizeof(void*);
+    bytes += vec.capacity() * sizeof(NodeId);
+  }
+  return bytes;
+}
+
+}  // namespace cuckoograph::baselines

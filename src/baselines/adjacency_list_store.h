@@ -1,0 +1,42 @@
+// LiveGraph stand-in: per-vertex append-only adjacency vectors behind a
+// hash map. Insertion appends (after a duplicate scan, so the GraphStore
+// idempotence contract holds), queries and deletions scan the vector —
+// the O(deg(u)) edge-query behaviour of Table III's log-structured rows.
+#ifndef CUCKOOGRAPH_BASELINES_ADJACENCY_LIST_STORE_H_
+#define CUCKOOGRAPH_BASELINES_ADJACENCY_LIST_STORE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/graph_store.h"
+
+namespace cuckoograph::baselines {
+
+class AdjacencyListStore final : public GraphStore {
+ public:
+  std::string_view name() const override { return "AdjacencyList"; }
+
+  bool InsertEdge(NodeId u, NodeId v) override;
+  bool QueryEdge(NodeId u, NodeId v) const override;
+  bool DeleteEdge(NodeId u, NodeId v) override;
+
+  std::unique_ptr<NeighborCursor> Neighbors(NodeId u) const override;
+  std::unique_ptr<NeighborCursor> Nodes() const override;
+  size_t OutDegree(NodeId u) const override;
+
+  size_t NumEdges() const override { return num_edges_; }
+  size_t NumNodes() const override { return adj_.size(); }
+  size_t MemoryBytes() const override;
+
+ private:
+  std::unordered_map<NodeId, std::vector<NodeId>> adj_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace cuckoograph::baselines
+
+#endif  // CUCKOOGRAPH_BASELINES_ADJACENCY_LIST_STORE_H_

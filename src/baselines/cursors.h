@@ -1,0 +1,69 @@
+// NeighborCursor adapters shared by the baseline stores: a cursor over a
+// contiguous NodeId array, and cursors over the keys/elements of standard
+// associative containers.
+#ifndef CUCKOOGRAPH_BASELINES_CURSORS_H_
+#define CUCKOOGRAPH_BASELINES_CURSORS_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "core/graph_store.h"
+
+namespace cuckoograph::baselines {
+
+// Streams a contiguous [begin, end) range of NodeIds (an adjacency vector).
+class VectorNeighborCursor final : public NeighborCursor {
+ public:
+  VectorNeighborCursor(const NodeId* begin, const NodeId* end)
+      : pos_(begin), end_(end) {}
+
+  size_t Next(NodeId* out, size_t capacity) override {
+    size_t written = 0;
+    while (written < capacity && pos_ != end_) out[written++] = *pos_++;
+    return written;
+  }
+
+ private:
+  const NodeId* pos_;
+  const NodeId* end_;
+};
+
+// Streams the keys of a map-like container (std::map / std::unordered_map
+// keyed by NodeId).
+template <typename Map>
+class MapKeyCursor final : public NeighborCursor {
+ public:
+  explicit MapKeyCursor(const Map& map)
+      : it_(map.begin()), end_(map.end()) {}
+
+  size_t Next(NodeId* out, size_t capacity) override {
+    size_t written = 0;
+    while (written < capacity && it_ != end_) out[written++] = (it_++)->first;
+    return written;
+  }
+
+ private:
+  typename Map::const_iterator it_;
+  typename Map::const_iterator end_;
+};
+
+// Streams the elements of a set-like container of NodeIds.
+template <typename Set>
+class SetCursor final : public NeighborCursor {
+ public:
+  explicit SetCursor(const Set& set) : it_(set.begin()), end_(set.end()) {}
+
+  size_t Next(NodeId* out, size_t capacity) override {
+    size_t written = 0;
+    while (written < capacity && it_ != end_) out[written++] = *it_++;
+    return written;
+  }
+
+ private:
+  typename Set::const_iterator it_;
+  typename Set::const_iterator end_;
+};
+
+}  // namespace cuckoograph::baselines
+
+#endif  // CUCKOOGRAPH_BASELINES_CURSORS_H_

@@ -1,0 +1,56 @@
+#include "baselines/hash_map_store.h"
+
+#include "baselines/cursors.h"
+
+namespace cuckoograph::baselines {
+
+bool HashMapStore::InsertEdge(NodeId u, NodeId v) {
+  if (!adj_[u].insert(v).second) return false;
+  ++num_edges_;
+  return true;
+}
+
+bool HashMapStore::QueryEdge(NodeId u, NodeId v) const {
+  const auto it = adj_.find(u);
+  return it != adj_.end() && it->second.count(v) != 0;
+}
+
+bool HashMapStore::DeleteEdge(NodeId u, NodeId v) {
+  const auto it = adj_.find(u);
+  if (it == adj_.end() || it->second.erase(v) == 0) return false;
+  if (it->second.empty()) adj_.erase(it);
+  --num_edges_;
+  return true;
+}
+
+std::unique_ptr<NeighborCursor> HashMapStore::Neighbors(NodeId u) const {
+  const auto it = adj_.find(u);
+  if (it == adj_.end()) return std::make_unique<EmptyNeighborCursor>();
+  return std::make_unique<SetCursor<std::unordered_set<NodeId>>>(it->second);
+}
+
+std::unique_ptr<NeighborCursor> HashMapStore::Nodes() const {
+  return std::make_unique<MapKeyCursor<decltype(adj_)>>(adj_);
+}
+
+size_t HashMapStore::OutDegree(NodeId u) const {
+  const auto it = adj_.find(u);
+  return it == adj_.end() ? 0 : it->second.size();
+}
+
+size_t HashMapStore::MemoryBytes() const {
+  // Outer map: bucket array + node per vertex. Inner sets: bucket array +
+  // one heap node (id + next pointer, rounded to a pointer pair) per edge.
+  size_t bytes = sizeof(*this);
+  bytes += adj_.bucket_count() * sizeof(void*);
+  for (const auto& [u, set] : adj_) {
+    (void)u;
+    bytes += sizeof(std::pair<const NodeId, std::unordered_set<NodeId>>) +
+             2 * sizeof(void*);
+    bytes += set.bucket_count() * sizeof(void*);
+    bytes += set.size() * (sizeof(NodeId) + 2 * sizeof(void*));
+  }
+  return bytes;
+}
+
+}  // namespace cuckoograph::baselines

@@ -1,0 +1,41 @@
+// Spruce stand-in: a hash map of per-vertex hash sets. Every edge
+// operation is O(1) expected, at the price of per-node allocation and the
+// bucket-array overhead the Figure 9 memory curves expose.
+#ifndef CUCKOOGRAPH_BASELINES_HASH_MAP_STORE_H_
+#define CUCKOOGRAPH_BASELINES_HASH_MAP_STORE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.h"
+#include "core/graph_store.h"
+
+namespace cuckoograph::baselines {
+
+class HashMapStore final : public GraphStore {
+ public:
+  std::string_view name() const override { return "HashMap"; }
+
+  bool InsertEdge(NodeId u, NodeId v) override;
+  bool QueryEdge(NodeId u, NodeId v) const override;
+  bool DeleteEdge(NodeId u, NodeId v) override;
+
+  std::unique_ptr<NeighborCursor> Neighbors(NodeId u) const override;
+  std::unique_ptr<NeighborCursor> Nodes() const override;
+  size_t OutDegree(NodeId u) const override;
+
+  size_t NumEdges() const override { return num_edges_; }
+  size_t NumNodes() const override { return adj_.size(); }
+  size_t MemoryBytes() const override;
+
+ private:
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> adj_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace cuckoograph::baselines
+
+#endif  // CUCKOOGRAPH_BASELINES_HASH_MAP_STORE_H_

@@ -1,0 +1,97 @@
+#include "baselines/sorted_vector_store.h"
+
+#include <algorithm>
+
+#include "baselines/cursors.h"
+
+namespace cuckoograph::baselines {
+
+bool SortedVectorStore::InsertEdge(NodeId u, NodeId v) {
+  std::vector<NodeId>& vec = adj_[u];
+  const auto pos = std::lower_bound(vec.begin(), vec.end(), v);
+  if (pos != vec.end() && *pos == v) return false;
+  vec.insert(pos, v);
+  ++num_edges_;
+  return true;
+}
+
+bool SortedVectorStore::QueryEdge(NodeId u, NodeId v) const {
+  const auto it = adj_.find(u);
+  if (it == adj_.end()) return false;
+  return std::binary_search(it->second.begin(), it->second.end(), v);
+}
+
+bool SortedVectorStore::DeleteEdge(NodeId u, NodeId v) {
+  const auto it = adj_.find(u);
+  if (it == adj_.end()) return false;
+  std::vector<NodeId>& vec = it->second;
+  const auto pos = std::lower_bound(vec.begin(), vec.end(), v);
+  if (pos == vec.end() || *pos != v) return false;
+  vec.erase(pos);
+  if (vec.empty()) adj_.erase(it);
+  --num_edges_;
+  return true;
+}
+
+size_t SortedVectorStore::InsertEdges(Span<const Edge> edges) {
+  std::vector<Edge> batch(edges.begin(), edges.end());
+  std::sort(batch.begin(), batch.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  size_t fresh = 0;
+  size_t i = 0;
+  while (i < batch.size()) {
+    const NodeId u = batch[i].u;
+    size_t j = i;
+    while (j < batch.size() && batch[j].u == u) ++j;
+    std::vector<NodeId>& vec = adj_[u];
+    std::vector<NodeId> merged;
+    merged.reserve(vec.size() + (j - i));
+    size_t a = 0;  // read cursor into the existing sorted adjacency
+    for (size_t k = i; k < j; ++k) {
+      const NodeId v = batch[k].v;
+      if (k > i && batch[k - 1].v == v) continue;  // duplicate in batch
+      while (a < vec.size() && vec[a] < v) merged.push_back(vec[a++]);
+      if (a < vec.size() && vec[a] == v) continue;  // already stored
+      merged.push_back(v);
+      ++fresh;
+    }
+    while (a < vec.size()) merged.push_back(vec[a++]);
+    vec = std::move(merged);
+    i = j;
+  }
+  num_edges_ += fresh;
+  return fresh;
+}
+
+std::unique_ptr<NeighborCursor> SortedVectorStore::Neighbors(
+    NodeId u) const {
+  const auto it = adj_.find(u);
+  if (it == adj_.end()) return std::make_unique<EmptyNeighborCursor>();
+  return std::make_unique<VectorNeighborCursor>(
+      it->second.data(), it->second.data() + it->second.size());
+}
+
+std::unique_ptr<NeighborCursor> SortedVectorStore::Nodes() const {
+  return std::make_unique<MapKeyCursor<decltype(adj_)>>(adj_);
+}
+
+size_t SortedVectorStore::OutDegree(NodeId u) const {
+  const auto it = adj_.find(u);
+  return it == adj_.end() ? 0 : it->second.size();
+}
+
+size_t SortedVectorStore::MemoryBytes() const {
+  // Red-black node overhead (three pointers + color word) per vertex,
+  // plus each adjacency vector's heap block.
+  size_t bytes = sizeof(*this);
+  for (const auto& [u, vec] : adj_) {
+    (void)u;
+    bytes += sizeof(std::pair<const NodeId, std::vector<NodeId>>) +
+             4 * sizeof(void*);
+    bytes += vec.capacity() * sizeof(NodeId);
+  }
+  return bytes;
+}
+
+}  // namespace cuckoograph::baselines

@@ -1,0 +1,53 @@
+// Sortledton stand-in: an ordered vertex map whose adjacencies are sorted
+// vectors. Queries binary-search (O(log |V|) + O(log deg)), single-edge
+// insertions shift (O(deg)), and the batch InsertEdges override sorts the
+// batch once and merges each vertex's run in one linear pass — the
+// amortization the v2 batch API exists for.
+#ifndef CUCKOOGRAPH_BASELINES_SORTED_VECTOR_STORE_H_
+#define CUCKOOGRAPH_BASELINES_SORTED_VECTOR_STORE_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/span.h"
+#include "common/types.h"
+#include "core/graph_store.h"
+
+namespace cuckoograph::baselines {
+
+class SortedVectorStore final : public GraphStore {
+ public:
+  std::string_view name() const override { return "SortedVector"; }
+  StoreCapabilities Capabilities() const override {
+    StoreCapabilities caps;
+    caps.stable_iteration = true;  // neighbors stream in ascending order
+    return caps;
+  }
+
+  bool InsertEdge(NodeId u, NodeId v) override;
+  bool QueryEdge(NodeId u, NodeId v) const override;
+  bool DeleteEdge(NodeId u, NodeId v) override;
+
+  // Sort-then-merge batch insertion: O((B log B) + sum_u (deg(u) + B_u))
+  // for a batch of B edges instead of O(sum_u B_u * deg(u)).
+  size_t InsertEdges(Span<const Edge> edges) override;
+
+  std::unique_ptr<NeighborCursor> Neighbors(NodeId u) const override;
+  std::unique_ptr<NeighborCursor> Nodes() const override;
+  size_t OutDegree(NodeId u) const override;
+
+  size_t NumEdges() const override { return num_edges_; }
+  size_t NumNodes() const override { return adj_.size(); }
+  size_t MemoryBytes() const override;
+
+ private:
+  std::map<NodeId, std::vector<NodeId>> adj_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace cuckoograph::baselines
+
+#endif  // CUCKOOGRAPH_BASELINES_SORTED_VECTOR_STORE_H_

@@ -1,0 +1,46 @@
+// A minimal C++17 stand-in for std::span<T>: a non-owning pointer + length
+// view, used by the GraphStore batch operations so callers can pass vectors,
+// arrays, or sub-ranges without copying.
+#ifndef CUCKOOGRAPH_COMMON_SPAN_H_
+#define CUCKOOGRAPH_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cuckoograph {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+
+  // From a vector (or const vector, when T is const).
+  template <typename U>
+  Span(std::vector<U>& v) : data_(v.data()), size_(v.size()) {}
+  template <typename U>
+  Span(const std::vector<U>& v) : data_(v.data()), size_(v.size()) {}
+
+  // From an array.
+  template <size_t N>
+  constexpr Span(T (&array)[N]) : data_(array), size_(N) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+  constexpr Span subspan(size_t offset, size_t count) const {
+    return Span(data_ + offset, count);
+  }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace cuckoograph
+
+#endif  // CUCKOOGRAPH_COMMON_SPAN_H_

@@ -1,6 +1,7 @@
 #include "core/cuckoo_graph.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -87,18 +88,79 @@ bool CuckooGraph::DeleteEdge(NodeId u, NodeId v) {
   return true;
 }
 
-void CuckooGraph::ForEachNeighbor(
-    NodeId u, const std::function<void(NodeId)>& fn) const {
+// Streams one vertex's adjacency: the inline slots, or the chain's tables
+// (occupied cells, head table first) followed by the chain's denylist.
+class CuckooGraph::NeighborCursorImpl final : public NeighborCursor {
+ public:
+  explicit NeighborCursorImpl(const VertexEntry* e) : e_(e) {}
+
+  size_t Next(NodeId* out, size_t capacity) override {
+    size_t written = 0;
+    if (!e_->has_chain) {
+      while (written < capacity && inline_i_ < e_->degree) {
+        out[written++] = e_->inline_slots[inline_i_++].v;
+      }
+      return written;
+    }
+    const internal::Chain& c = *e_->chain;
+    while (written < capacity && table_i_ < c.tables.size()) {
+      const auto& t = c.tables[table_i_];
+      while (written < capacity && slot_ < t.num_cells()) {
+        if (t.used(slot_)) out[written++] = t.cell(slot_).v;
+        ++slot_;
+      }
+      if (slot_ == t.num_cells()) {
+        ++table_i_;
+        slot_ = 0;
+      }
+    }
+    while (written < capacity && deny_i_ < c.denylist.size()) {
+      out[written++] = c.denylist[deny_i_++].v;
+    }
+    return written;
+  }
+
+ private:
+  const VertexEntry* e_;
+  uint32_t inline_i_ = 0;
+  size_t table_i_ = 0;
+  size_t slot_ = 0;
+  size_t deny_i_ = 0;
+};
+
+// Streams every vertex key: the L-CHT's occupied cells, then the L-CHT
+// denylist.
+class CuckooGraph::NodeCursorImpl final : public NeighborCursor {
+ public:
+  explicit NodeCursorImpl(const CuckooGraph* g) : g_(g) {}
+
+  size_t Next(NodeId* out, size_t capacity) override {
+    size_t written = 0;
+    const auto& l = g_->l_;
+    while (written < capacity && slot_ < l.num_cells()) {
+      if (l.used(slot_)) out[written++] = l.cell(slot_).key;
+      ++slot_;
+    }
+    while (written < capacity && deny_i_ < g_->l_denylist_.size()) {
+      out[written++] = g_->l_denylist_[deny_i_++].key;
+    }
+    return written;
+  }
+
+ private:
+  const CuckooGraph* g_;
+  size_t slot_ = 0;
+  size_t deny_i_ = 0;
+};
+
+std::unique_ptr<NeighborCursor> CuckooGraph::Neighbors(NodeId u) const {
   const VertexEntry* e = FindVertex(u);
-  if (e == nullptr) return;
-  if (!e->has_chain) {
-    for (uint32_t i = 0; i < e->degree; ++i) fn(e->inline_slots[i].v);
-    return;
-  }
-  for (const auto& t : e->chain->tables) {
-    t.ForEach([&fn](const Neighbor& n) { fn(n.v); });
-  }
-  for (const Neighbor& n : e->chain->denylist) fn(n.v);
+  if (e == nullptr) return std::make_unique<EmptyNeighborCursor>();
+  return std::make_unique<NeighborCursorImpl>(e);
+}
+
+std::unique_ptr<NeighborCursor> CuckooGraph::Nodes() const {
+  return std::make_unique<NodeCursorImpl>(this);
 }
 
 size_t CuckooGraph::NumNodes() const {

@@ -11,7 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -70,23 +70,28 @@ class CuckooGraph : public GraphStore {
   CuckooGraph& operator=(const CuckooGraph&) = delete;
 
   std::string_view name() const override { return "CuckooGraph"; }
+  StoreCapabilities Capabilities() const override {
+    StoreCapabilities caps;
+    caps.deletions = true;
+    return caps;
+  }
   bool InsertEdge(NodeId u, NodeId v) override;
   bool QueryEdge(NodeId u, NodeId v) const override;
   bool DeleteEdge(NodeId u, NodeId v) override;
-  void ForEachNeighbor(NodeId u,
-                       const std::function<void(NodeId)>& fn) const override;
+  std::unique_ptr<NeighborCursor> Neighbors(NodeId u) const override;
+  std::unique_ptr<NeighborCursor> Nodes() const override;
   size_t NumEdges() const override { return num_edges_; }
   size_t NumNodes() const override;
   size_t MemoryBytes() const override;
+
+  // O(1): the degree is a field of the vertex cell.
+  size_t OutDegree(NodeId u) const override;
 
   // The (normalized) configuration this instance runs with.
   const Config& config() const { return config_; }
 
   // Snapshot of the operation counters.
   GraphStats stats() const;
-
-  // Out-degree of `u` (0 if absent).
-  size_t OutDegree(NodeId u) const;
 
   // Bucket counts of each table in `u`'s S-CHT chain, head first; empty if
   // `u` has no chain (absent or still inline). Backs the Table II bench.
@@ -123,6 +128,9 @@ class CuckooGraph : public GraphStore {
   };
 
   friend struct internal::Chain;
+
+  class NeighborCursorImpl;
+  class NodeCursorImpl;
 
   VertexEntry* FindVertex(NodeId u);
   const VertexEntry* FindVertex(NodeId u) const;

@@ -1,0 +1,23 @@
+#include "core/graph_store.h"
+
+namespace cuckoograph {
+
+size_t GraphStore::InsertEdges(Span<const Edge> edges) {
+  size_t fresh = 0;
+  for (const Edge& e : edges) fresh += InsertEdge(e.u, e.v);
+  return fresh;
+}
+
+size_t GraphStore::QueryEdges(Span<const Edge> edges) const {
+  size_t hits = 0;
+  for (const Edge& e : edges) hits += QueryEdge(e.u, e.v);
+  return hits;
+}
+
+size_t GraphStore::DeleteEdges(Span<const Edge> edges) {
+  size_t removed = 0;
+  for (const Edge& e : edges) removed += DeleteEdge(e.u, e.v);
+  return removed;
+}
+
+}  // namespace cuckoograph

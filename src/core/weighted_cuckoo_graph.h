@@ -19,6 +19,11 @@ class WeightedCuckooGraph : public CuckooGraph {
   explicit WeightedCuckooGraph(const Config& config);
 
   std::string_view name() const override { return "WeightedCuckooGraph"; }
+  StoreCapabilities Capabilities() const override {
+    StoreCapabilities caps = CuckooGraph::Capabilities();
+    caps.weighted = true;
+    return caps;
+  }
 
   // Adds one arrival of <u, v>: inserts the edge with weight 1 if absent,
   // otherwise increments its weight. Returns the resulting weight.
