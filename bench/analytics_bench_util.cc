@@ -35,22 +35,29 @@ int RunAnalyticsFigure(int argc, char** argv,
            selected.end();
   };
 
-  PrintHeader(spec.experiment, spec.title + " — seconds per run",
+  analytics::CsrSnapshot::Options snapshot_opts;
+  snapshot_opts.with_weights = spec.needs_weights;
+
+  PrintHeader(spec.experiment,
+              spec.title + " — seconds per run (snapshot + kernel)",
               AllSchemeNames());
   for (const std::string& dataset_name : datasets::AllDatasetNames()) {
     if (!only_dataset.empty() && only_dataset != dataset_name) continue;
     const datasets::Dataset dataset =
         MakeBenchDataset(dataset_name, user_scale);
 
-    // Reference load: used only for node selection and subgraph extraction
-    // so every scheme receives identical inputs.
+    // Reference load + snapshot: used only for node selection and subgraph
+    // extraction so every scheme receives identical inputs.
     auto reference = MakeStoreByName("CuckooGraph");
     reference->InsertEdges(dataset.stream);
+    const analytics::CsrSnapshot reference_snapshot =
+        analytics::CsrSnapshot::FromStore(*reference);
     const std::vector<NodeId> top_nodes =
-        analytics::TopDegreeNodes(*reference, spec.subgraph_nodes);
+        analytics::TopDegreeNodes(reference_snapshot, spec.subgraph_nodes);
     const std::vector<Edge> subgraph_edges =
-        spec.subgraph_only ? analytics::InducedSubgraph(*reference, top_nodes)
-                           : std::vector<Edge>();
+        spec.subgraph_only
+            ? analytics::InducedSubgraph(reference_snapshot, top_nodes)
+            : std::vector<Edge>();
 
     std::vector<std::string> row{dataset_name};
     for (const std::string& scheme : AllSchemeNames()) {
@@ -59,10 +66,16 @@ int RunAnalyticsFigure(int argc, char** argv,
         continue;
       }
       auto store = MakeStoreByName(scheme);
+      if (spec.needs_weights && !store->Capabilities().weighted) {
+        row.push_back("-");  // the scheme cannot serve this kernel
+        continue;
+      }
       store->InsertEdges(spec.subgraph_only ? Span<const Edge>(subgraph_edges)
                                             : Span<const Edge>(dataset.stream));
       WallTimer timer;
-      spec.kernel(*store, top_nodes);
+      const analytics::CsrSnapshot snapshot =
+          analytics::CsrSnapshot::FromStore(*store, snapshot_opts);
+      spec.kernel(snapshot, top_nodes);
       row.push_back(FmtSeconds(timer.ElapsedSeconds()));
     }
     PrintRow(spec.experiment, row);

@@ -1,8 +1,10 @@
 // Shared runner for the graph-analytics figures (Figures 10-16). Follows
 // the Section V-E methodology: the top-degree node set is selected once per
-// dataset (on a reference store, so every scheme sees the same nodes), and
-// either the whole dataset (BFS/SSSP/TC) or the extracted subgraph
-// (CC/PR/BC/LCC) is inserted into each scheme before the timed kernel runs.
+// dataset (on a reference snapshot, so every scheme sees the same nodes),
+// and either the whole dataset (BFS/SSSP/TC) or the extracted subgraph
+// (CC/PR/BC/LCC) is inserted into each scheme. The timed region is the
+// scheme's snapshot materialization (CsrSnapshot::FromStore — the store's
+// extract cost) plus the kernel over the flat CSR.
 #ifndef CUCKOOGRAPH_BENCH_ANALYTICS_BENCH_UTIL_H_
 #define CUCKOOGRAPH_BENCH_ANALYTICS_BENCH_UTIL_H_
 
@@ -10,8 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "analytics/csr_snapshot.h"
 #include "common/types.h"
-#include "core/graph_store.h"
 
 namespace cuckoograph::bench {
 
@@ -20,8 +22,14 @@ struct AnalyticsFigureSpec {
   std::string title;        // e.g. "Running time of BFS (Section V-E1)"
   size_t subgraph_nodes;    // top-degree selection size
   bool subgraph_only;       // insert only the induced subgraph's edges
-  // The timed kernel: receives the loaded store and the selected nodes.
-  std::function<void(const GraphStore&, const std::vector<NodeId>&)> kernel;
+  // Requires Capabilities().weighted: schemes without it print "-" for the
+  // cell, and qualifying schemes get their snapshot built with weights.
+  bool needs_weights = false;
+  // The timed kernel body: receives the scheme's snapshot and the selected
+  // nodes (original ids). Snapshot build time is charged to the cell too.
+  std::function<void(const analytics::CsrSnapshot&,
+                     const std::vector<NodeId>&)>
+      kernel;
 };
 
 // Parses --scale / --datasets / --schemes / --csv flags, runs the spec over

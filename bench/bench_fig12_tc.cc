@@ -1,6 +1,7 @@
 // Figure 12: running time of Triangle Counting (Section V-E3).
-// Methodology: insert the whole dataset; for each of the top-degree nodes,
-// enumerate 2-hop successors and probe the closing edges with edge queries.
+// Methodology: insert the whole dataset, snapshot it; for each top-degree
+// node, enumerate 2-hop successors and probe the closing edges (binary
+// search over the CSR segments).
 #include "analytics/triangle_count.h"
 #include "analytics_bench_util.h"
 
@@ -11,13 +12,10 @@ int main(int argc, char** argv) {
   spec.title = "Triangle Counting running time (V-E3)";
   spec.subgraph_nodes = 10;  // TC runs per top-degree node
   spec.subgraph_only = false;
-  spec.kernel = [](const GraphStore& store,
+  spec.kernel = [](const analytics::CsrSnapshot& graph,
                    const std::vector<NodeId>& nodes) {
-    size_t triangles = 0;
-    for (NodeId node : nodes) {
-      triangles += analytics::CountTriangles(store, node);
-    }
-    (void)triangles;
+    const auto result = analytics::triangle_count::Run(graph, nodes);
+    (void)result.aggregate;
   };
   return bench::RunAnalyticsFigure(argc, argv, spec);
 }

@@ -1,6 +1,6 @@
 // Figure 15: running time of Betweenness Centrality / Brandes (V-E6).
 // Methodology: extract the top-degree subgraph, insert it into each scheme,
-// run the Brandes algorithm.
+// snapshot it, run Brandes with the subgraph nodes as pivots.
 #include "analytics/betweenness.h"
 #include "analytics_bench_util.h"
 
@@ -11,10 +11,10 @@ int main(int argc, char** argv) {
   spec.title = "Betweenness Centrality (Brandes) running time (V-E6)";
   spec.subgraph_nodes = 400;
   spec.subgraph_only = true;
-  spec.kernel = [](const GraphStore& store,
+  spec.kernel = [](const analytics::CsrSnapshot& graph,
                    const std::vector<NodeId>& nodes) {
-    const auto bc = analytics::BetweennessCentrality(store, nodes);
-    (void)bc.size();
+    const auto result = analytics::betweenness::Run(graph, nodes);
+    (void)result.per_node.size();
   };
   return bench::RunAnalyticsFigure(argc, argv, spec);
 }

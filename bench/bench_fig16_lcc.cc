@@ -1,6 +1,6 @@
 // Figure 16: running time of Local Clustering Coefficient (V-E7).
-// Methodology: extract the top-degree subgraph, pre-compute all neighbours
-// of each node, count neighbourhood links with edge queries.
+// Methodology: extract the top-degree subgraph, insert it into each scheme,
+// snapshot it, count neighbourhood links with CSR edge probes.
 #include "analytics/lcc.h"
 #include "analytics_bench_util.h"
 
@@ -11,10 +11,10 @@ int main(int argc, char** argv) {
   spec.title = "Local Clustering Coefficient running time (V-E7)";
   spec.subgraph_nodes = 250;
   spec.subgraph_only = true;
-  spec.kernel = [](const GraphStore& store,
+  spec.kernel = [](const analytics::CsrSnapshot& graph,
                    const std::vector<NodeId>& nodes) {
-    const auto lcc = analytics::LocalClusteringCoefficient(store, nodes);
-    (void)lcc.size();
+    const auto result = analytics::lcc::Run(graph, nodes);
+    (void)result.per_node.size();
   };
   return bench::RunAnalyticsFigure(argc, argv, spec);
 }

@@ -5,8 +5,12 @@
 #include <benchmark/benchmark.h>
 
 #include <functional>
+#include <queue>
+#include <unordered_set>
 #include <vector>
 
+#include "analytics/bfs.h"
+#include "analytics/csr_snapshot.h"
 #include "common/bob_hash.h"
 #include "common/rng.h"
 #include "core/cuckoo_graph.h"
@@ -158,6 +162,83 @@ void BM_InsertEdgesBatch(benchmark::State& state) {
                           static_cast<int64_t>(workload.size()));
 }
 BENCHMARK(BM_InsertEdgesBatch)->Arg(100'000);
+
+// ---- Snapshot-vs-virtual traversal guard -------------------------------
+// The analytics refactor's claim: build a CsrSnapshot once, then traverse
+// flat arrays, instead of running the kernel through per-edge virtual
+// store calls with hash-set visited state. BM_SnapshotBuild prices the
+// materialization; BM_BfsOverCsr vs BM_BfsOverVirtualStore is the payoff
+// once the CSR exists.
+
+// Both endpoints drawn from [0, n) at average degree 8, so the giant
+// component emerges and a BFS sweeps most of the graph — the regime the
+// analytics kernels run in (MakeWorkload's stream is mostly sinks, which
+// would measure setup cost instead of traversal).
+std::vector<Edge> MakeTraversalWorkload(size_t nodes) {
+  SplitMix64 rng(23);
+  std::vector<Edge> workload;
+  workload.reserve(nodes * 8);
+  for (size_t i = 0; i < nodes * 8; ++i) {
+    workload.push_back(Edge{rng.NextBelow(nodes), rng.NextBelow(nodes)});
+  }
+  return workload;
+}
+
+void BM_SnapshotBuild(benchmark::State& state) {
+  const auto workload =
+      MakeTraversalWorkload(static_cast<size_t>(state.range(0)));
+  CuckooGraph graph;
+  graph.InsertEdges(workload);
+  for (auto _ : state) {
+    const auto snapshot = analytics::CsrSnapshot::FromStore(graph);
+    benchmark::DoNotOptimize(snapshot.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(graph.NumEdges()));
+}
+BENCHMARK(BM_SnapshotBuild)->Arg(10'000)->Arg(100'000);
+
+void BM_BfsOverCsr(benchmark::State& state) {
+  const auto workload =
+      MakeTraversalWorkload(static_cast<size_t>(state.range(0)));
+  CuckooGraph graph;
+  graph.InsertEdges(workload);
+  const auto snapshot = analytics::CsrSnapshot::FromStore(graph);
+  const NodeId root = workload[0].u;
+  for (auto _ : state) {
+    const auto result =
+        analytics::bfs::Run(snapshot, Span<const NodeId>(&root, 1));
+    benchmark::DoNotOptimize(result.aggregate);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(graph.NumEdges()));
+}
+BENCHMARK(BM_BfsOverCsr)->Arg(10'000)->Arg(100'000);
+
+void BM_BfsOverVirtualStore(benchmark::State& state) {
+  const auto workload =
+      MakeTraversalWorkload(static_cast<size_t>(state.range(0)));
+  CuckooGraph graph;
+  graph.InsertEdges(workload);
+  const NodeId root = workload[0].u;
+  for (auto _ : state) {
+    // The pre-snapshot shape: cursor walk per vertex, hash-set visited.
+    std::unordered_set<NodeId> visited{root};
+    std::queue<NodeId> frontier;
+    frontier.push(root);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      graph.ForEachNeighbor(u, [&visited, &frontier](NodeId v) {
+        if (visited.insert(v).second) frontier.push(v);
+      });
+    }
+    benchmark::DoNotOptimize(visited.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(graph.NumEdges()));
+}
+BENCHMARK(BM_BfsOverVirtualStore)->Arg(10'000)->Arg(100'000);
 
 void BM_WeightedAdd(benchmark::State& state) {
   WeightedCuckooGraph graph;

@@ -1,0 +1,65 @@
+#include "analytics/betweenness.h"
+
+#include <numeric>
+#include <vector>
+
+namespace cuckoograph::analytics::betweenness {
+
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources) {
+  const size_t n = graph.num_nodes();
+  KernelResult result;
+  result.per_node.assign(n, 0.0);
+
+  std::vector<DenseId> pivots;
+  if (sources.empty()) {
+    pivots.resize(n);
+    std::iota(pivots.begin(), pivots.end(), 0);
+  } else {
+    pivots = ResolveSources(graph, sources);
+  }
+
+  // Brandes scratch, reused across pivots.
+  std::vector<int64_t> dist(n);
+  std::vector<double> sigma(n);   // shortest-path counts
+  std::vector<double> delta(n);   // accumulated dependencies
+  std::vector<std::vector<DenseId>> preds(n);
+  std::vector<DenseId> order;     // BFS visit order
+  order.reserve(n);
+
+  for (const DenseId s : pivots) {
+    dist.assign(n, -1);
+    sigma.assign(n, 0.0);
+    delta.assign(n, 0.0);
+    for (auto& p : preds) p.clear();
+    order.clear();
+
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    order.push_back(s);
+    for (size_t head = 0; head < order.size(); ++head) {
+      const DenseId u = order[head];
+      for (const DenseId v : graph.Neighbors(u)) {
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          order.push_back(v);
+        }
+        if (dist[v] == dist[u] + 1) {
+          sigma[v] += sigma[u];
+          preds[v].push_back(u);
+        }
+      }
+    }
+
+    // Dependency accumulation in reverse BFS order.
+    for (size_t i = order.size(); i-- > 1;) {
+      const DenseId w = order[i];
+      const double coefficient = (1.0 + delta[w]) / sigma[w];
+      for (const DenseId v : preds[w]) delta[v] += sigma[v] * coefficient;
+      result.per_node[w] += delta[w];
+    }
+    ++result.aggregate;
+  }
+  return result;
+}
+
+}  // namespace cuckoograph::analytics::betweenness

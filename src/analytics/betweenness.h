@@ -1,0 +1,18 @@
+// Betweenness-centrality kernel (Figure 15, Section V-E6): the Brandes
+// algorithm over unweighted shortest paths.
+#ifndef CUCKOOGRAPH_ANALYTICS_BETWEENNESS_H_
+#define CUCKOOGRAPH_ANALYTICS_BETWEENNESS_H_
+
+#include "analytics/kernel.h"
+
+namespace cuckoograph::analytics::betweenness {
+
+// per_node = directed betweenness (sum of pair dependencies, endpoints
+// excluded, unnormalized). `sources` selects the Brandes pivots — the
+// exact score needs every vertex, which an empty span requests; a subset
+// yields the standard pivot approximation. aggregate = pivots used.
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources);
+
+}  // namespace cuckoograph::analytics::betweenness
+
+#endif  // CUCKOOGRAPH_ANALYTICS_BETWEENNESS_H_

@@ -1,0 +1,36 @@
+#include "analytics/bfs.h"
+
+#include "analytics/frontier.h"
+
+namespace cuckoograph::analytics::bfs {
+
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources) {
+  KernelResult result;
+  result.per_node.assign(graph.num_nodes(), kUnreached);
+
+  VisitedBitmap visited(graph.num_nodes());
+  Frontier frontier(graph.num_nodes());
+  for (const DenseId s : ResolveSources(graph, sources)) {
+    visited.Set(s);
+    result.per_node[s] = 0.0;
+    frontier.PushCurrent(s);
+    ++result.aggregate;
+  }
+
+  double depth = 0.0;
+  while (!frontier.CurrentEmpty()) {
+    depth += 1.0;
+    for (const DenseId u : frontier.Current()) {
+      for (const DenseId v : graph.Neighbors(u)) {
+        if (!visited.TestAndSet(v)) continue;
+        result.per_node[v] = depth;
+        frontier.PushNext(v);
+        ++result.aggregate;
+      }
+    }
+    frontier.Advance();
+  }
+  return result;
+}
+
+}  // namespace cuckoograph::analytics::bfs

@@ -1,0 +1,16 @@
+// BFS kernel (Figure 10, Section V-E1).
+#ifndef CUCKOOGRAPH_ANALYTICS_BFS_H_
+#define CUCKOOGRAPH_ANALYTICS_BFS_H_
+
+#include "analytics/kernel.h"
+
+namespace cuckoograph::analytics::bfs {
+
+// Multi-source BFS. per_node = hop distance from the nearest source
+// (kUnreached for vertices no source reaches), aggregate = vertices
+// reached. An empty source set reaches nothing.
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources);
+
+}  // namespace cuckoograph::analytics::bfs
+
+#endif  // CUCKOOGRAPH_ANALYTICS_BFS_H_

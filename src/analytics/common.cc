@@ -1,17 +1,16 @@
 #include "analytics/common.h"
 
 #include <algorithm>
-#include <unordered_set>
 #include <utility>
 
 namespace cuckoograph::analytics {
 
-std::vector<NodeId> TopDegreeNodes(const GraphStore& store, size_t k) {
+std::vector<NodeId> TopDegreeNodes(const CsrSnapshot& graph, size_t k) {
   std::vector<std::pair<size_t, NodeId>> degrees;
-  degrees.reserve(store.NumNodes());
-  store.ForEachNode([&store, &degrees](NodeId u) {
-    degrees.emplace_back(store.OutDegree(u), u);
-  });
+  degrees.reserve(graph.num_nodes());
+  for (DenseId u = 0; u < graph.num_nodes(); ++u) {
+    degrees.emplace_back(graph.Degree(u), graph.ToOriginal(u));
+  }
   const size_t take = std::min(k, degrees.size());
   std::partial_sort(degrees.begin(), degrees.begin() + take, degrees.end(),
                     [](const auto& a, const auto& b) {
@@ -24,14 +23,23 @@ std::vector<NodeId> TopDegreeNodes(const GraphStore& store, size_t k) {
   return top;
 }
 
-std::vector<Edge> InducedSubgraph(const GraphStore& store,
+std::vector<Edge> InducedSubgraph(const CsrSnapshot& graph,
                                   const std::vector<NodeId>& nodes) {
-  const std::unordered_set<NodeId> keep(nodes.begin(), nodes.end());
+  // Membership as a dense bitmap over the snapshot's vertex space; node
+  // ids outside the snapshot are simply not members.
+  std::vector<bool> keep(graph.num_nodes(), false);
+  for (const NodeId id : nodes) {
+    const DenseId dense = graph.ToDense(id);
+    if (dense != CsrSnapshot::kAbsent) keep[dense] = true;
+  }
   std::vector<Edge> edges;
-  for (const NodeId u : nodes) {
-    store.ForEachNeighbor(u, [&keep, &edges, u](NodeId v) {
-      if (keep.count(v) != 0) edges.push_back(Edge{u, v});
-    });
+  for (DenseId u = 0; u < graph.num_nodes(); ++u) {
+    if (!keep[u]) continue;
+    for (const DenseId v : graph.Neighbors(u)) {
+      if (keep[v]) {
+        edges.push_back(Edge{graph.ToOriginal(u), graph.ToOriginal(v)});
+      }
+    }
   }
   return edges;
 }

@@ -1,25 +1,27 @@
 // Shared helpers of the graph-analytics layer (Section V-E): top-degree
-// node selection and induced-subgraph extraction, both written against the
-// abstract GraphStore v2 cursors so every scheme can serve them. The
-// kernels themselves (BFS, SSSP, TC, CC, PR, BC, LCC) are still open
-// ROADMAP items.
+// node selection and induced-subgraph extraction. Both consume a
+// CsrSnapshot — the analytics engine walks the virtual store exactly once,
+// when the snapshot is materialized, and every selection/extraction after
+// that is array arithmetic.
 #ifndef CUCKOOGRAPH_ANALYTICS_COMMON_H_
 #define CUCKOOGRAPH_ANALYTICS_COMMON_H_
 
 #include <cstddef>
 #include <vector>
 
+#include "analytics/csr_snapshot.h"
 #include "common/types.h"
-#include "core/graph_store.h"
 
 namespace cuckoograph::analytics {
 
-// The `k` vertices with the highest out-degree, degree-descending with
-// NodeId ascending as the tie-break (deterministic across schemes).
-std::vector<NodeId> TopDegreeNodes(const GraphStore& store, size_t k);
+// The `k` vertices with the highest out-degree, as original node ids,
+// degree-descending with NodeId ascending as the tie-break (deterministic
+// across schemes, since the snapshot itself is).
+std::vector<NodeId> TopDegreeNodes(const CsrSnapshot& graph, size_t k);
 
-// Every stored edge <u, v> with both endpoints in `nodes`.
-std::vector<Edge> InducedSubgraph(const GraphStore& store,
+// Every snapshot edge <u, v> with both endpoints in `nodes`, in original
+// ids — the edge list the comparison benches insert into each scheme.
+std::vector<Edge> InducedSubgraph(const CsrSnapshot& graph,
                                   const std::vector<NodeId>& nodes);
 
 }  // namespace cuckoograph::analytics

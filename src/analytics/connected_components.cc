@@ -1,0 +1,76 @@
+#include "analytics/connected_components.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cuckoograph::analytics::connected_components {
+
+namespace {
+
+constexpr uint32_t kUnindexed = ~uint32_t{0};
+
+// The explicit DFS stack: vertex plus the adjacency slot to resume at.
+struct Frame {
+  DenseId v;
+  size_t next_child;
+};
+
+}  // namespace
+
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources) {
+  (void)sources;
+  const size_t n = graph.num_nodes();
+  KernelResult result;
+  result.per_node.assign(n, 0.0);
+
+  std::vector<uint32_t> index(n, kUnindexed);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<DenseId> scc_stack;
+  std::vector<Frame> call;
+  uint32_t next_index = 0;
+
+  for (DenseId root = 0; root < n; ++root) {
+    if (index[root] != kUnindexed) continue;
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+    call.push_back(Frame{root, 0});
+
+    while (!call.empty()) {
+      const DenseId v = call.back().v;
+      const Span<const DenseId> neighbors = graph.Neighbors(v);
+      if (call.back().next_child < neighbors.size()) {
+        const DenseId w = neighbors[call.back().next_child++];
+        if (index[w] == kUnindexed) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = true;
+          call.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      // v's subtree is done: fold its lowlink into the parent and pop the
+      // completed SCC if v is its root.
+      call.pop_back();
+      if (!call.empty()) {
+        lowlink[call.back().v] = std::min(lowlink[call.back().v], lowlink[v]);
+      }
+      if (lowlink[v] == index[v]) {
+        while (true) {
+          const DenseId w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          result.per_node[w] = static_cast<double>(result.aggregate);
+          if (w == v) break;
+        }
+        ++result.aggregate;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cuckoograph::analytics::connected_components

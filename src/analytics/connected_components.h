@@ -1,0 +1,19 @@
+// Strongly-connected-components kernel (Figure 13, Section V-E4):
+// Tarjan's algorithm, iterative so deep subgraphs cannot overflow the call
+// stack.
+#ifndef CUCKOOGRAPH_ANALYTICS_CONNECTED_COMPONENTS_H_
+#define CUCKOOGRAPH_ANALYTICS_CONNECTED_COMPONENTS_H_
+
+#include "analytics/kernel.h"
+
+namespace cuckoograph::analytics::connected_components {
+
+// per_node = SCC id (two vertices share an id iff they are mutually
+// reachable; ids are dense in [0, aggregate) in completion order),
+// aggregate = number of SCCs. `sources` is ignored — the kernel always
+// sweeps the whole snapshot.
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources);
+
+}  // namespace cuckoograph::analytics::connected_components
+
+#endif  // CUCKOOGRAPH_ANALYTICS_CONNECTED_COMPONENTS_H_

@@ -1,0 +1,169 @@
+#include "analytics/csr_snapshot.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cuckoograph::analytics {
+
+namespace {
+
+// One edge in dense coordinates, carried through the sort that canonicalizes
+// the CSR segments.
+struct DenseEdge {
+  DenseId u = 0;
+  DenseId v = 0;
+  uint64_t w = 0;
+};
+
+std::vector<NodeId> SortedUnique(std::vector<NodeId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+CsrSnapshot CsrSnapshot::Build(std::vector<Edge> edges,
+                               std::vector<uint64_t> weights,
+                               std::vector<NodeId> universe) {
+  CsrSnapshot snap;
+  snap.originals_ = std::move(universe);
+  const size_t n = snap.originals_.size();
+  snap.offsets_.assign(n + 1, 0);
+  const bool weighted = !weights.empty();
+
+  std::vector<DenseEdge> dense(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    dense[i].u = snap.ToDense(edges[i].u);
+    dense[i].v = snap.ToDense(edges[i].v);
+    dense[i].w = weighted ? weights[i] : 1;
+  }
+  std::sort(dense.begin(), dense.end(),
+            [](const DenseEdge& a, const DenseEdge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+
+  snap.neighbors_.reserve(dense.size());
+  if (weighted) snap.weights_.reserve(dense.size());
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (i > 0 && dense[i].u == dense[i - 1].u && dense[i].v == dense[i - 1].v) {
+      // Duplicate arrival: accumulate, matching the weighted store.
+      if (weighted) snap.weights_.back() += dense[i].w;
+      continue;
+    }
+    snap.neighbors_.push_back(dense[i].v);
+    if (weighted) snap.weights_.push_back(dense[i].w);
+    ++snap.offsets_[dense[i].u + 1];
+  }
+  for (size_t u = 0; u < n; ++u) snap.offsets_[u + 1] += snap.offsets_[u];
+  return snap;
+}
+
+CsrSnapshot CsrSnapshot::FromStore(const GraphStore& store,
+                                   SnapshotOptions opts) {
+  // Drain the node cursor fully before opening neighbor cursors, and pull
+  // weights only after every cursor is closed.
+  std::vector<NodeId> sources;
+  sources.reserve(store.NumNodes());
+  store.ForEachNode([&sources](NodeId u) { sources.push_back(u); });
+
+  std::vector<Edge> edges;
+  edges.reserve(store.NumEdges());
+  for (const NodeId u : sources) {
+    store.ForEachNeighbor(u, [&edges, u](NodeId v) {
+      edges.push_back(Edge{u, v});
+    });
+  }
+
+  std::vector<uint64_t> weights;
+  if (opts.with_weights && !edges.empty()) {
+    weights.reserve(edges.size());
+    for (const Edge& e : edges) weights.push_back(store.EdgeWeight(e.u, e.v));
+  }
+
+  // The universe is every endpoint: sinks holding no out-edges still need
+  // dense ids because neighbor segments point at them.
+  std::vector<NodeId> universe;
+  universe.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    universe.push_back(e.u);
+    universe.push_back(e.v);
+  }
+  return Build(std::move(edges), std::move(weights),
+               SortedUnique(std::move(universe)));
+}
+
+CsrSnapshot CsrSnapshot::FromStore(const GraphStore& store,
+                                   Span<const NodeId> nodes,
+                                   SnapshotOptions opts) {
+  std::vector<NodeId> universe =
+      SortedUnique(std::vector<NodeId>(nodes.begin(), nodes.end()));
+  const auto member = [&universe](NodeId v) {
+    return std::binary_search(universe.begin(), universe.end(), v);
+  };
+
+  std::vector<Edge> edges;
+  for (const NodeId u : universe) {
+    store.ForEachNeighbor(u, [&edges, &member, u](NodeId v) {
+      if (member(v)) edges.push_back(Edge{u, v});
+    });
+  }
+
+  std::vector<uint64_t> weights;
+  if (opts.with_weights && !edges.empty()) {
+    weights.reserve(edges.size());
+    for (const Edge& e : edges) weights.push_back(store.EdgeWeight(e.u, e.v));
+  }
+  return Build(std::move(edges), std::move(weights), std::move(universe));
+}
+
+CsrSnapshot CsrSnapshot::FromEdges(Span<const Edge> edges,
+                                   Span<const uint64_t> weights) {
+  if (!weights.empty() && weights.size() != edges.size()) {
+    throw std::invalid_argument(
+        "CsrSnapshot::FromEdges: weights must be empty or parallel to "
+        "edges");
+  }
+  std::vector<NodeId> universe;
+  universe.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    universe.push_back(e.u);
+    universe.push_back(e.v);
+  }
+  return Build(std::vector<Edge>(edges.begin(), edges.end()),
+               std::vector<uint64_t>(weights.begin(), weights.end()),
+               SortedUnique(std::move(universe)));
+}
+
+bool CsrSnapshot::HasEdge(DenseId u, DenseId v) const {
+  const DenseId* begin = neighbors_.data() + offsets_[u];
+  const DenseId* end = neighbors_.data() + offsets_[u + 1];
+  return std::binary_search(begin, end, v);
+}
+
+DenseId CsrSnapshot::ToDense(NodeId original) const {
+  const auto it =
+      std::lower_bound(originals_.begin(), originals_.end(), original);
+  if (it == originals_.end() || *it != original) return kAbsent;
+  return static_cast<DenseId>(it - originals_.begin());
+}
+
+std::vector<Edge> CsrSnapshot::ExtractEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (DenseId u = 0; u < num_nodes(); ++u) {
+    for (const DenseId v : Neighbors(u)) {
+      edges.push_back(Edge{ToOriginal(u), ToOriginal(v)});
+    }
+  }
+  return edges;
+}
+
+size_t CsrSnapshot::MemoryBytes() const {
+  return offsets_.size() * sizeof(size_t) +
+         neighbors_.size() * sizeof(DenseId) +
+         weights_.size() * sizeof(uint64_t) +
+         originals_.size() * sizeof(NodeId);
+}
+
+}  // namespace cuckoograph::analytics

@@ -1,0 +1,20 @@
+#include "analytics/kernel.h"
+
+#include "analytics/frontier.h"
+
+namespace cuckoograph::analytics {
+
+std::vector<DenseId> ResolveSources(const CsrSnapshot& graph,
+                                    Span<const NodeId> sources) {
+  std::vector<DenseId> resolved;
+  resolved.reserve(sources.size());
+  VisitedBitmap seen(graph.num_nodes());
+  for (const NodeId id : sources) {
+    const DenseId dense = graph.ToDense(id);
+    if (dense == CsrSnapshot::kAbsent) continue;
+    if (seen.TestAndSet(dense)) resolved.push_back(dense);
+  }
+  return resolved;
+}
+
+}  // namespace cuckoograph::analytics

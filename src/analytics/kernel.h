@@ -1,0 +1,50 @@
+// The analytics kernels' uniform surface. Every kernel (bfs.h ... lcc.h)
+// exposes exactly
+//
+//   KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources);
+//
+// in its own sub-namespace (analytics::bfs::Run, analytics::sssp::Run, ...)
+// so the figure benches and tests drive all seven through one shape.
+// `sources` are original node ids; ids absent from the snapshot are
+// ignored, and kernels that sweep the whole snapshot (CC, PageRank) accept
+// an empty span.
+#ifndef CUCKOOGRAPH_ANALYTICS_KERNEL_H_
+#define CUCKOOGRAPH_ANALYTICS_KERNEL_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "analytics/csr_snapshot.h"
+#include "common/span.h"
+#include "common/types.h"
+
+namespace cuckoograph::analytics {
+
+// Per-node value of vertices no kernel pass reached (BFS/SSSP distance of
+// unreachable vertices).
+inline constexpr double kUnreached = std::numeric_limits<double>::infinity();
+
+struct KernelResult {
+  // One value per dense snapshot id; the meaning is the kernel's (hop or
+  // weighted distance, component id, PageRank score, centrality, LCC,
+  // per-source triangle count). Empty only when the snapshot is empty.
+  std::vector<double> per_node;
+  // Kernel-specific scalar: vertices reached (BFS/SSSP), components (CC),
+  // sum of per-source directed 3-cycle counts (TC — a full sweep counts
+  // each cycle once per member, i.e. 3x per triangle), pivots used (BC),
+  // iterations run (PR), vertices scored (LCC).
+  uint64_t aggregate = 0;
+};
+
+// The uniform entry-point shape, for registries and bench tables.
+using KernelFn = KernelResult (*)(const CsrSnapshot&, Span<const NodeId>);
+
+// Maps `sources` into dense ids, dropping absentees and duplicates while
+// preserving first-occurrence order. Shared by every kernel's prologue.
+std::vector<DenseId> ResolveSources(const CsrSnapshot& graph,
+                                    Span<const NodeId> sources);
+
+}  // namespace cuckoograph::analytics
+
+#endif  // CUCKOOGRAPH_ANALYTICS_KERNEL_H_

@@ -1,0 +1,43 @@
+#include "analytics/lcc.h"
+
+#include <numeric>
+#include <vector>
+
+namespace cuckoograph::analytics::lcc {
+
+namespace {
+
+double CoefficientOf(const CsrSnapshot& graph, DenseId u) {
+  const Span<const DenseId> neighbors = graph.Neighbors(u);
+  const size_t degree = neighbors.size();
+  if (degree < 2) return 0.0;
+  uint64_t links = 0;
+  for (const DenseId v : neighbors) {
+    for (const DenseId w : neighbors) {
+      if (v != w && graph.HasEdge(v, w)) ++links;
+    }
+  }
+  return static_cast<double>(links) /
+         (static_cast<double>(degree) * static_cast<double>(degree - 1));
+}
+
+}  // namespace
+
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources) {
+  KernelResult result;
+  result.per_node.assign(graph.num_nodes(), 0.0);
+  if (sources.empty()) {
+    for (DenseId u = 0; u < graph.num_nodes(); ++u) {
+      result.per_node[u] = CoefficientOf(graph, u);
+      ++result.aggregate;
+    }
+    return result;
+  }
+  for (const DenseId u : ResolveSources(graph, sources)) {
+    result.per_node[u] = CoefficientOf(graph, u);
+    ++result.aggregate;
+  }
+  return result;
+}
+
+}  // namespace cuckoograph::analytics::lcc

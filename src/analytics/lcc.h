@@ -1,0 +1,17 @@
+// Local-clustering-coefficient kernel (Figure 16, Section V-E7).
+#ifndef CUCKOOGRAPH_ANALYTICS_LCC_H_
+#define CUCKOOGRAPH_ANALYTICS_LCC_H_
+
+#include "analytics/kernel.h"
+
+namespace cuckoograph::analytics::lcc {
+
+// per_node[u] = (ordered pairs (v, w) of distinct successors of u with
+// edge v->w present) / (deg(u) * (deg(u) - 1)); 0 when deg(u) < 2. Scores
+// `sources` (others stay 0), or every vertex when `sources` is empty.
+// aggregate = vertices scored.
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources);
+
+}  // namespace cuckoograph::analytics::lcc
+
+#endif  // CUCKOOGRAPH_ANALYTICS_LCC_H_

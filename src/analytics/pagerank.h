@@ -1,0 +1,22 @@
+// PageRank kernel (Figure 14, Section V-E5).
+#ifndef CUCKOOGRAPH_ANALYTICS_PAGERANK_H_
+#define CUCKOOGRAPH_ANALYTICS_PAGERANK_H_
+
+#include <cstddef>
+
+#include "analytics/kernel.h"
+
+namespace cuckoograph::analytics::pagerank {
+
+// Power iteration with uniform teleport and dangling mass redistributed
+// uniformly. per_node = score (sums to 1), aggregate = iterations run.
+KernelResult RunIterations(const CsrSnapshot& graph, size_t iterations,
+                           double damping = 0.85);
+
+// The figure's configuration: 100 iterations, damping 0.85. `sources` is
+// ignored — PageRank scores the whole snapshot.
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources);
+
+}  // namespace cuckoograph::analytics::pagerank
+
+#endif  // CUCKOOGRAPH_ANALYTICS_PAGERANK_H_

@@ -1,0 +1,97 @@
+#include "analytics/sssp.h"
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace cuckoograph::analytics::sssp {
+
+namespace {
+
+constexpr uint64_t kInfinite = ~uint64_t{0};
+
+uint64_t WeightOf(const CsrSnapshot& graph, DenseId u, size_t slot) {
+  return graph.has_weights() ? graph.Weights(u)[slot] : 1;
+}
+
+KernelResult ToResult(const CsrSnapshot& graph,
+                      const std::vector<uint64_t>& dist) {
+  KernelResult result;
+  result.per_node.assign(graph.num_nodes(), kUnreached);
+  for (DenseId v = 0; v < graph.num_nodes(); ++v) {
+    if (dist[v] == kInfinite) continue;
+    result.per_node[v] = static_cast<double>(dist[v]);
+    ++result.aggregate;
+  }
+  return result;
+}
+
+}  // namespace
+
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources) {
+  std::vector<uint64_t> dist(graph.num_nodes(), kInfinite);
+  using HeapEntry = std::pair<uint64_t, DenseId>;  // (distance, vertex)
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  for (const DenseId s : ResolveSources(graph, sources)) {
+    dist[s] = 0;
+    heap.emplace(0, s);
+  }
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[u]) continue;  // stale entry
+    const Span<const DenseId> neighbors = graph.Neighbors(u);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const DenseId v = neighbors[i];
+      const uint64_t candidate = d + WeightOf(graph, u, i);
+      if (candidate < dist[v]) {
+        dist[v] = candidate;
+        heap.emplace(candidate, v);
+      }
+    }
+  }
+  return ToResult(graph, dist);
+}
+
+KernelResult RunDeltaStepping(const CsrSnapshot& graph,
+                              Span<const NodeId> sources, uint64_t delta) {
+  if (delta == 0) delta = 1;
+  std::vector<uint64_t> dist(graph.num_nodes(), kInfinite);
+  std::vector<std::vector<DenseId>> buckets;
+  const auto push = [&buckets, delta](DenseId v, uint64_t d) {
+    const size_t idx = static_cast<size_t>(d / delta);
+    if (idx >= buckets.size()) buckets.resize(idx + 1);
+    buckets[idx].push_back(v);
+  };
+
+  for (const DenseId s : ResolveSources(graph, sources)) {
+    dist[s] = 0;
+    push(s, 0);
+  }
+
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    // Relaxations may refill bucket i while it is being drained.
+    while (!buckets[i].empty()) {
+      std::vector<DenseId> batch;
+      batch.swap(buckets[i]);
+      for (const DenseId u : batch) {
+        const uint64_t d = dist[u];
+        if (d / delta != i) continue;  // settled into an earlier bucket
+        const Span<const DenseId> neighbors = graph.Neighbors(u);
+        for (size_t slot = 0; slot < neighbors.size(); ++slot) {
+          const DenseId v = neighbors[slot];
+          const uint64_t candidate = d + WeightOf(graph, u, slot);
+          if (candidate < dist[v]) {
+            dist[v] = candidate;
+            push(v, candidate);
+          }
+        }
+      }
+    }
+  }
+  return ToResult(graph, dist);
+}
+
+}  // namespace cuckoograph::analytics::sssp

@@ -1,0 +1,27 @@
+// SSSP kernel (Figure 11, Section V-E2), over the snapshot's weights
+// array (unit weights when the snapshot carries none — the unweighted
+// degenerate case).
+#ifndef CUCKOOGRAPH_ANALYTICS_SSSP_H_
+#define CUCKOOGRAPH_ANALYTICS_SSSP_H_
+
+#include <cstdint>
+
+#include "analytics/kernel.h"
+
+namespace cuckoograph::analytics::sssp {
+
+// Multi-source Dijkstra (binary heap, lazy deletion). per_node = weighted
+// distance from the nearest source (kUnreached when unreachable),
+// aggregate = vertices reached.
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources);
+
+// Delta-stepping variant: bucketed label-correcting with bucket width
+// `delta`. Produces the same distances as Run; the bench compares the two
+// on skewed streams.
+KernelResult RunDeltaStepping(const CsrSnapshot& graph,
+                              Span<const NodeId> sources,
+                              uint64_t delta = 1);
+
+}  // namespace cuckoograph::analytics::sssp
+
+#endif  // CUCKOOGRAPH_ANALYTICS_SSSP_H_

@@ -7,6 +7,7 @@
 #include "baselines/hash_map_store.h"
 #include "baselines/sorted_vector_store.h"
 #include "core/cuckoo_graph.h"
+#include "core/weighted_cuckoo_graph.h"
 
 namespace cuckoograph {
 
@@ -47,6 +48,10 @@ void EnsureBuiltins() {
     AddEntry("SortedVector", [] {
       return std::make_unique<baselines::SortedVectorStore>();
     });
+    // The extended (weighted) store trails the paper's comparison columns;
+    // weight-requiring benches (fig11 SSSP) find it via Capabilities().
+    AddEntry("cuckoo-weighted",
+             [] { return std::make_unique<WeightedCuckooGraph>(); });
     return true;
   }();
   (void)done;

@@ -3,9 +3,9 @@
 // columns and instantiate each scheme with MakeStoreByName().
 //
 // The factory registers the built-in schemes itself (CuckooGraph plus the
-// three baseline stand-ins, in the paper's column order); out-of-tree
-// schemes self-register by defining a static StoreRegistrar in their
-// translation unit:
+// three baseline stand-ins in the paper's column order, then the weighted
+// "cuckoo-weighted" extended store); out-of-tree schemes self-register by
+// defining a static StoreRegistrar in their translation unit:
 //
 //   static const StoreRegistrar kReg("MyStore", [] {
 //     return std::make_unique<MyStore>();

@@ -51,7 +51,9 @@ class NeighborCursor {
 // What a scheme supports. Benches consult this to skip cells a scheme
 // cannot run instead of crashing or reporting garbage.
 struct StoreCapabilities {
-  // Duplicate arrivals accumulate as edge weight (the extended store).
+  // Duplicate arrivals accumulate as edge weight (the extended store), and
+  // EdgeWeight() reports the accumulated multiplicity. Snapshot builders
+  // (analytics/csr_snapshot.h) consult this before pulling weights.
   bool weighted = false;
   // DeleteEdge / DeleteEdges are implemented.
   bool deletions = true;
@@ -82,6 +84,13 @@ class GraphStore {
 
   // Deletes directed edge <u, v>. Returns true iff it was present.
   virtual bool DeleteEdge(NodeId u, NodeId v) = 0;
+
+  // Weight of <u, v>: 0 when absent, 1 when present. Schemes advertising
+  // Capabilities().weighted override this with the accumulated arrival
+  // multiplicity so snapshot extraction can pull real weights.
+  virtual uint64_t EdgeWeight(NodeId u, NodeId v) const {
+    return QueryEdge(u, v) ? 1 : 0;
+  }
 
   // ---- Batch operations ----------------------------------------------------
   // Defaults loop over the per-edge virtuals; schemes override them when a

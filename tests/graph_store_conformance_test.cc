@@ -185,6 +185,16 @@ TEST_P(GraphStoreConformanceTest, BatchOpsAgreeWithSingleOps) {
   }
 }
 
+TEST_P(GraphStoreConformanceTest, EdgeWeightHonorsWeightedCapability) {
+  EXPECT_EQ(store_->EdgeWeight(1, 2), 0u);  // absent edge
+  store_->InsertEdge(1, 2);
+  EXPECT_EQ(store_->EdgeWeight(1, 2), 1u);
+  store_->InsertEdge(1, 2);  // duplicate arrival
+  const uint64_t expected = store_->Capabilities().weighted ? 2 : 1;
+  EXPECT_EQ(store_->EdgeWeight(1, 2), expected);
+  EXPECT_EQ(store_->NumEdges(), 1u);
+}
+
 TEST_P(GraphStoreConformanceTest, EmptyBatchesAreNoOps) {
   EXPECT_EQ(store_->InsertEdges(Span<const Edge>()), 0u);
   EXPECT_EQ(store_->QueryEdges(Span<const Edge>()), 0u);
@@ -198,7 +208,10 @@ INSTANTIATE_TEST_SUITE_P(
     AllSchemes, GraphStoreConformanceTest,
     ::testing::ValuesIn(AllSchemeNames()),
     [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+      // Scheme names may contain '-', which gtest test names cannot.
+      std::string name = info.param;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
     });
 
 // ---- Factory contract ------------------------------------------------------
@@ -212,9 +225,21 @@ TEST(StoreFactoryTest, MakesEveryRegisteredScheme) {
 }
 
 TEST(StoreFactoryTest, SchemeOrderIsThePapersColumnOrder) {
+  // The paper's comparison columns first, then the extended store.
   const std::vector<std::string> expected{"CuckooGraph", "AdjacencyList",
-                                          "HashMap", "SortedVector"};
+                                          "HashMap", "SortedVector",
+                                          "cuckoo-weighted"};
   EXPECT_EQ(AllSchemeNames(), expected);
+}
+
+TEST(StoreFactoryTest, WeightedSchemeAdvertisesWeights) {
+  const auto store = MakeStoreByName("cuckoo-weighted");
+  EXPECT_TRUE(store->Capabilities().weighted);
+  // It is the only built-in that does.
+  for (const std::string& name : AllSchemeNames()) {
+    if (name == "cuckoo-weighted") continue;
+    EXPECT_FALSE(MakeStoreByName(name)->Capabilities().weighted) << name;
+  }
 }
 
 TEST(StoreFactoryTest, UnknownNameFailsListingValidSchemes) {

@@ -32,13 +32,25 @@ TEST(WeightedCuckooGraphTest, DeleteClearsWeight) {
   EXPECT_EQ(graph.AddEdge(1, 2), 1u);
 }
 
-TEST(WeightedCuckooGraphTest, InsertEdgeStaysIdempotent) {
+TEST(WeightedCuckooGraphTest, InsertEdgeCountsArrivals) {
   WeightedCuckooGraph graph;
+  // The edge-set view stays idempotent (a duplicate returns false and the
+  // edge count stays 1) while every arrival accumulates as weight.
   EXPECT_TRUE(graph.InsertEdge(4, 5));
   EXPECT_FALSE(graph.InsertEdge(4, 5));
-  EXPECT_EQ(graph.QueryWeight(4, 5), 1u);
-  graph.AddEdge(4, 5);
+  EXPECT_EQ(graph.NumEdges(), 1u);
   EXPECT_EQ(graph.QueryWeight(4, 5), 2u);
+  graph.AddEdge(4, 5);
+  EXPECT_EQ(graph.QueryWeight(4, 5), 3u);
+}
+
+TEST(WeightedCuckooGraphTest, EdgeWeightHookReportsAccumulation) {
+  WeightedCuckooGraph graph;
+  const GraphStore& store = graph;
+  EXPECT_EQ(store.EdgeWeight(7, 8), 0u);
+  graph.AddEdge(7, 8);
+  graph.AddEdge(7, 8);
+  EXPECT_EQ(store.EdgeWeight(7, 8), 2u);
 }
 
 TEST(WeightedCuckooGraphTest, WeightsSurviveTransformation) {
@@ -53,11 +65,11 @@ TEST(WeightedCuckooGraphTest, WeightsSurviveTransformation) {
   }
 }
 
-TEST(WeightedCuckooGraphTest, ReportsItsOwnName) {
+TEST(WeightedCuckooGraphTest, ReportsItsFactorySchemeName) {
   WeightedCuckooGraph graph;
-  EXPECT_EQ(graph.name(), "WeightedCuckooGraph");
+  EXPECT_EQ(graph.name(), "cuckoo-weighted");
   const GraphStore& store = graph;
-  EXPECT_EQ(store.name(), "WeightedCuckooGraph");
+  EXPECT_EQ(store.name(), "cuckoo-weighted");
 }
 
 }  // namespace
