@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   using redis_sim::SimClient;
   const Flags flags(argc, argv);
   const double user_scale = flags.GetDouble("scale", 1.0);
+  bench::MaybeOpenCsvFromFlags(flags);
 
   bench::PrintHeader("fig17",
                      "CuckooGraph on Redis-sim (Mops through RESP)",
@@ -54,5 +55,6 @@ int main(int argc, char** argv) {
   }
   std::printf("(paper: ~0.04-0.05 Mops on real Redis, whose native peak "
               "was ~0.16 Mops on the authors' server)\n");
+  bench::CloseCsv();
   return 0;
 }

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   using namespace cuckoograph;
   const Flags flags(argc, argv);
   const double user_scale = flags.GetDouble("scale", 1.0);
+  bench::MaybeOpenCsvFromFlags(flags);
 
   const datasets::Dataset dataset =
       bench::MakeBenchDataset("CAIDA", user_scale);
@@ -60,5 +61,6 @@ int main(int argc, char** argv) {
               "adjacency scan steps (pure path): %zu\n",
               dataset.stream.size(), distinct.size(), pure_found,
               ours_found, pure.scan_steps());
+  bench::CloseCsv();
   return pure_found == ours_found ? 0 : 1;
 }

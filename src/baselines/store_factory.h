@@ -10,6 +10,9 @@
 //   static const StoreRegistrar kReg("MyStore", [] {
 //     return std::make_unique<MyStore>();
 //   });
+//
+// The registry is not synchronized: register from static initializers or
+// from startup code before any concurrent use, exactly like the built-ins.
 #ifndef CUCKOOGRAPH_BASELINES_STORE_FACTORY_H_
 #define CUCKOOGRAPH_BASELINES_STORE_FACTORY_H_
 

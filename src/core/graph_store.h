@@ -36,7 +36,8 @@ class NeighborCursor {
   virtual ~NeighborCursor() = default;
 
   // Fills `out` with up to `capacity` ids and returns how many were
-  // written. Returns 0 exactly when the stream is exhausted.
+  // written. Returns 0 exactly when the stream is exhausted, and keeps
+  // returning 0 on every call after that (drain loops may probe again).
   virtual size_t Next(NodeId* out, size_t capacity) = 0;
 
   // Drains the remaining stream, returning how many ids were left.

@@ -1,0 +1,45 @@
+#include "neo4j_sim/indexed_property_graph.h"
+
+namespace cuckoograph::neo4j_sim {
+
+RelId IndexedPropertyGraph::CreateRelationship(NodeId from, NodeId to,
+                                               std::string_view type) {
+  const RelId id = store_.CreateRelationship(from, to, type);
+  index_.InsertEdge(from, to);
+  const uint64_t key = EdgeKey(Edge{from, to});
+  const auto [it, inserted] = pair_head_.emplace(key, id);
+  next_same_pair_.push_back(inserted ? kNoRel : it->second);
+  it->second = id;
+  return id;
+}
+
+IndexedPropertyGraph::RelationshipIterator
+IndexedPropertyGraph::FindRelationships(NodeId from, NodeId to) const {
+  if (!index_.QueryEdge(from, to)) {
+    ++index_rejects_;
+    return RelationshipIterator();
+  }
+  const auto it = pair_head_.find(EdgeKey(Edge{from, to}));
+  return RelationshipIterator(this, it->second);
+}
+
+size_t IndexedPropertyGraph::CountRelationships(NodeId from,
+                                                NodeId to) const {
+  size_t count = 0;
+  for (RelationshipIterator it = FindRelationships(from, to); it.Valid();
+       it.Next()) {
+    ++count;
+  }
+  return count;
+}
+
+size_t IndexedPropertyGraph::MemoryBytes() const {
+  size_t bytes = store_.MemoryBytes() + index_.MemoryBytes();
+  bytes += next_same_pair_.capacity() * sizeof(RelId);
+  bytes += pair_head_.bucket_count() * sizeof(void*);
+  bytes += pair_head_.size() *
+           (sizeof(std::pair<const uint64_t, RelId>) + sizeof(void*));
+  return bytes;
+}
+
+}  // namespace cuckoograph::neo4j_sim

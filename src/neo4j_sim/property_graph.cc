@@ -1,0 +1,99 @@
+#include "neo4j_sim/property_graph.h"
+
+#include <utility>
+
+namespace cuckoograph::neo4j_sim {
+namespace {
+
+size_t PropertyMapBytes(const PropertyMap& map) {
+  size_t bytes = 0;
+  for (const auto& [key, value] : map) {
+    bytes += sizeof(PropertyMap::value_type) + key.capacity() +
+             value.capacity();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+NodeRecord& PropertyGraphStore::EnsureNode(NodeId id) {
+  return nodes_[id];  // value-initialized on first sight
+}
+
+RelId PropertyGraphStore::CreateRelationship(NodeId from, NodeId to,
+                                             std::string_view type) {
+  const RelId id = static_cast<RelId>(rels_.size());
+  NodeRecord& start = EnsureNode(from);
+  EnsureNode(to);
+  RelationshipRecord record;
+  record.start = from;
+  record.end = to;
+  record.type.assign(type);
+  record.next_from_start = start.first_out;
+  rels_.push_back(std::move(record));
+  start.first_out = id;
+  ++start.out_degree;
+  return id;
+}
+
+std::vector<RelId> PropertyGraphStore::FindRelationships(NodeId from,
+                                                         NodeId to) const {
+  std::vector<RelId> found;
+  const auto it = nodes_.find(from);
+  if (it == nodes_.end()) return found;
+  for (RelId rel = it->second.first_out; rel != kNoRel;
+       rel = rels_[rel].next_from_start) {
+    ++scan_steps_;
+    if (rels_[rel].end == to) found.push_back(rel);
+  }
+  return found;
+}
+
+size_t PropertyGraphStore::OutDegree(NodeId id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second.out_degree;
+}
+
+void PropertyGraphStore::SetNodeProperty(NodeId id, std::string key,
+                                         std::string value) {
+  EnsureNode(id).properties[std::move(key)] = std::move(value);
+}
+
+const std::string* PropertyGraphStore::GetNodeProperty(
+    NodeId id, const std::string& key) const {
+  const auto node = nodes_.find(id);
+  if (node == nodes_.end()) return nullptr;
+  const auto property = node->second.properties.find(key);
+  return property == node->second.properties.end() ? nullptr
+                                                   : &property->second;
+}
+
+void PropertyGraphStore::SetRelationshipProperty(RelId id, std::string key,
+                                                 std::string value) {
+  rels_[id].properties[std::move(key)] = std::move(value);
+}
+
+const std::string* PropertyGraphStore::GetRelationshipProperty(
+    RelId id, const std::string& key) const {
+  if (id >= rels_.size()) return nullptr;
+  const auto property = rels_[id].properties.find(key);
+  return property == rels_[id].properties.end() ? nullptr
+                                                : &property->second;
+}
+
+size_t PropertyGraphStore::MemoryBytes() const {
+  size_t bytes = rels_.capacity() * sizeof(RelationshipRecord);
+  for (const RelationshipRecord& rel : rels_) {
+    bytes += rel.type.capacity() + PropertyMapBytes(rel.properties);
+  }
+  // unordered_map: buckets plus one heap node per entry.
+  bytes += nodes_.bucket_count() * sizeof(void*);
+  for (const auto& [id, node] : nodes_) {
+    (void)id;
+    bytes += sizeof(std::pair<const NodeId, NodeRecord>) + sizeof(void*) +
+             PropertyMapBytes(node.properties);
+  }
+  return bytes;
+}
+
+}  // namespace cuckoograph::neo4j_sim

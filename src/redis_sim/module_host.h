@@ -1,0 +1,98 @@
+// The simulated Redis server a module registers commands into, and the
+// client that round-trips every call through serialized RESP bytes. The
+// pair stands in for a real Redis + redis-cli: modules see the same shape
+// as the RedisModule_CreateCommand API (name, arity, handler over argv),
+// and callers see only bytes — so Figure 17's measured cost includes
+// request encoding, request parsing, dispatch through a handler table,
+// reply encoding, and reply parsing on the way back out.
+#ifndef CUCKOOGRAPH_REDIS_SIM_MODULE_HOST_H_
+#define CUCKOOGRAPH_REDIS_SIM_MODULE_HOST_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "redis_sim/resp.h"
+
+namespace cuckoograph::redis_sim {
+
+class RedisServerSim {
+ public:
+  // A registered command body. `argv` is the full request (argv[0] is the
+  // command name as the client sent it); the returned value is encoded as
+  // the reply.
+  using CommandHandler =
+      std::function<RespValue(const std::vector<std::string>& argv)>;
+
+  // Registers `name` (matched case-insensitively) with Redis arity
+  // semantics: a positive `arity` requires exactly that many argv entries
+  // (command name included); a negative `arity` requires at least
+  // |arity|. Returns false (keeping the existing entry) when the name is
+  // already taken.
+  bool RegisterCommand(std::string_view name, int arity,
+                       CommandHandler handler);
+
+  // Feeds request bytes into the connection and returns the reply bytes
+  // produced. Stateful like a socket: an incomplete trailing command is
+  // buffered until the next Feed completes it, and several pipelined
+  // commands in one Feed produce several back-to-back replies. A protocol
+  // error produces an error reply and discards the rest of the buffer
+  // (the sim's stand-in for Redis closing the connection).
+  std::string Feed(std::string_view bytes);
+
+  struct Stats {
+    uint64_t commands_dispatched = 0;  // handler invocations
+    uint64_t error_replies = 0;        // arity/unknown/protocol/handler errors
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Registered command names (uppercased), in registration order.
+  std::vector<std::string> CommandNames() const;
+
+ private:
+  struct CommandEntry {
+    int arity = 0;
+    CommandHandler handler;
+  };
+
+  // Dispatches one parsed request and returns its reply value.
+  RespValue Dispatch(const std::vector<std::string>& argv);
+
+  std::unordered_map<std::string, CommandEntry> commands_;  // key: UPPERCASE
+  std::vector<std::string> registration_order_;
+  std::string buffer_;  // unconsumed request bytes between Feed calls
+  Stats stats_;
+};
+
+// A client endpoint for the simulated server. Every Execute serializes
+// its argv as a multibulk request, feeds the bytes through the server,
+// and parses the reply bytes back into a RespValue — the full wire round
+// trip, minus only the kernel socket.
+class SimClient {
+ public:
+  explicit SimClient(RedisServerSim* server) : server_(server) {}
+
+  // Sends `argv` as a multibulk request and returns the decoded reply.
+  RespValue Execute(const std::vector<std::string>& argv);
+
+  // Sends one raw inline command line (no trailing newline needed), e.g.
+  // "CG.QUERY 1 2", and returns the decoded reply.
+  RespValue ExecuteInline(std::string_view line);
+
+ private:
+  // Feeds `request` and decodes exactly one reply from the response
+  // stream (plus whatever was left over from earlier pipelining).
+  RespValue RoundTrip(std::string_view request);
+
+  RedisServerSim* server_;
+  std::string pending_;  // reply bytes received but not yet consumed
+};
+
+}  // namespace cuckoograph::redis_sim
+
+#endif  // CUCKOOGRAPH_REDIS_SIM_MODULE_HOST_H_

@@ -1,0 +1,329 @@
+#include "redis_sim/resp.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace cuckoograph::redis_sim {
+namespace {
+
+// Locates the CRLF terminating the header line that starts at `pos`:
+// the index of '\r', or npos when the buffer ends before a full CRLF.
+size_t FindCrlf(std::string_view bytes, size_t pos) {
+  return bytes.find("\r\n", pos);
+}
+
+// Parses the decimal integer spanning [pos, line_end). Strict: optional
+// leading '-', at least one digit, nothing else, and the magnitude must
+// fit a long long — overlong headers fail here instead of overflowing,
+// like Redis rejecting an oversized length line before accumulating it.
+bool ParseDecimal(std::string_view bytes, size_t pos, size_t line_end,
+                  long long* out) {
+  constexpr long long kMax = std::numeric_limits<long long>::max();
+  bool negative = false;
+  if (pos < line_end && bytes[pos] == '-') {
+    negative = true;
+    ++pos;
+  }
+  if (pos == line_end) return false;
+  long long value = 0;
+  for (; pos < line_end; ++pos) {
+    const char c = bytes[pos];
+    if (c < '0' || c > '9') return false;
+    const long long digit = c - '0';
+    if (value > (kMax - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = negative ? -value : value;
+  return true;
+}
+
+ParseResult ProtocolError(std::string message) {
+  ParseResult result;
+  result.status = ParseStatus::kError;
+  result.error = std::move(message);
+  return result;
+}
+
+// Parses one value starting at `pos`; on kOk, `*end` is one past the
+// value's last byte. `array_limit` caps array lengths (-1 = uncapped):
+// the request path passes kMaxMultibulkLen, the reply path no cap, since
+// Redis's multibulk limit applies only to what clients send.
+ParseResult ParseAt(std::string_view bytes, size_t pos, size_t* end,
+                    long long array_limit);
+
+ParseResult ParseLinePayload(std::string_view bytes, size_t pos, size_t* end,
+                             RespType type) {
+  const size_t crlf = FindCrlf(bytes, pos);
+  if (crlf == std::string_view::npos) return ParseResult{};
+  ParseResult result;
+  result.status = ParseStatus::kOk;
+  result.value.type = type;
+  result.value.text.assign(bytes.substr(pos, crlf - pos));
+  *end = crlf + 2;
+  return result;
+}
+
+ParseResult ParseIntegerValue(std::string_view bytes, size_t pos,
+                              size_t* end) {
+  const size_t crlf = FindCrlf(bytes, pos);
+  if (crlf == std::string_view::npos) return ParseResult{};
+  long long value = 0;
+  if (!ParseDecimal(bytes, pos, crlf, &value)) {
+    return ProtocolError("Protocol error: invalid integer");
+  }
+  ParseResult result;
+  result.status = ParseStatus::kOk;
+  result.value = RespValue::Integer(value);
+  *end = crlf + 2;
+  return result;
+}
+
+ParseResult ParseBulk(std::string_view bytes, size_t pos, size_t* end) {
+  const size_t crlf = FindCrlf(bytes, pos);
+  if (crlf == std::string_view::npos) return ParseResult{};
+  long long len = 0;
+  if (!ParseDecimal(bytes, pos, crlf, &len) || len < -1 ||
+      len > kMaxBulkLen) {
+    return ProtocolError("Protocol error: invalid bulk length");
+  }
+  ParseResult result;
+  if (len == -1) {  // $-1\r\n: the null bulk string
+    result.status = ParseStatus::kOk;
+    result.value = RespValue::Null();
+    *end = crlf + 2;
+    return result;
+  }
+  const size_t payload = crlf + 2;
+  if (payload + static_cast<size_t>(len) + 2 > bytes.size()) {
+    return ParseResult{};
+  }
+  if (bytes[payload + len] != '\r' || bytes[payload + len + 1] != '\n') {
+    return ProtocolError("Protocol error: bulk string not CRLF-terminated");
+  }
+  result.status = ParseStatus::kOk;
+  result.value =
+      RespValue::Bulk(std::string(bytes.substr(payload, len)));
+  *end = payload + len + 2;
+  return result;
+}
+
+ParseResult ParseArray(std::string_view bytes, size_t pos, size_t* end,
+                       long long array_limit) {
+  const size_t crlf = FindCrlf(bytes, pos);
+  if (crlf == std::string_view::npos) return ParseResult{};
+  long long len = 0;
+  if (!ParseDecimal(bytes, pos, crlf, &len) || len < -1 ||
+      (array_limit >= 0 && len > array_limit)) {
+    return ProtocolError("Protocol error: invalid multibulk length");
+  }
+  ParseResult result;
+  if (len == -1) {  // *-1\r\n: the null array
+    result.status = ParseStatus::kOk;
+    result.value = RespValue::Null();
+    *end = crlf + 2;
+    return result;
+  }
+  std::vector<RespValue> elements;
+  // Clamp the reserve: a garbage header claiming a huge length must not
+  // allocate before its (missing) elements fail to parse.
+  elements.reserve(static_cast<size_t>(std::min(len, 1024LL)));
+  size_t cursor = crlf + 2;
+  for (long long i = 0; i < len; ++i) {
+    size_t next = 0;
+    ParseResult element = ParseAt(bytes, cursor, &next, array_limit);
+    if (element.status != ParseStatus::kOk) return element;
+    elements.push_back(std::move(element.value));
+    cursor = next;
+  }
+  result.status = ParseStatus::kOk;
+  result.value = RespValue::Array(std::move(elements));
+  *end = cursor;
+  return result;
+}
+
+ParseResult ParseAt(std::string_view bytes, size_t pos, size_t* end,
+                    long long array_limit) {
+  if (pos >= bytes.size()) return ParseResult{};
+  switch (bytes[pos]) {
+    case '+':
+      return ParseLinePayload(bytes, pos + 1, end, RespType::kSimpleString);
+    case '-':
+      return ParseLinePayload(bytes, pos + 1, end, RespType::kError);
+    case ':':
+      return ParseIntegerValue(bytes, pos + 1, end);
+    case '$':
+      return ParseBulk(bytes, pos + 1, end);
+    case '*':
+      return ParseArray(bytes, pos + 1, end, array_limit);
+    default:
+      return ProtocolError(std::string("Protocol error: unknown type byte '") +
+                           bytes[pos] + "'");
+  }
+}
+
+}  // namespace
+
+RespValue RespValue::Simple(std::string s) {
+  RespValue v;
+  v.type = RespType::kSimpleString;
+  v.text = std::move(s);
+  return v;
+}
+
+RespValue RespValue::Error(std::string message) {
+  RespValue v;
+  v.type = RespType::kError;
+  v.text = std::move(message);
+  return v;
+}
+
+RespValue RespValue::Integer(long long value) {
+  RespValue v;
+  v.type = RespType::kInteger;
+  v.integer = value;
+  return v;
+}
+
+RespValue RespValue::Bulk(std::string payload) {
+  RespValue v;
+  v.type = RespType::kBulkString;
+  v.text = std::move(payload);
+  return v;
+}
+
+RespValue RespValue::Null() { return RespValue{}; }
+
+RespValue RespValue::Array(std::vector<RespValue> elements) {
+  RespValue v;
+  v.type = RespType::kArray;
+  v.elements = std::move(elements);
+  return v;
+}
+
+namespace {
+
+// Line-framed payloads (simple strings, errors) cannot contain CR/LF —
+// one would split the frame and desync the stream. Redis sanitizes error
+// text the same way; bulk strings are length-prefixed and stay verbatim.
+void AppendLineSafe(std::string* out, const std::string& text) {
+  for (const char c : text) {
+    *out += (c == '\r' || c == '\n') ? ' ' : c;
+  }
+}
+
+}  // namespace
+
+std::string Encode(const RespValue& value) {
+  std::string out;
+  switch (value.type) {
+    case RespType::kSimpleString:
+      out += '+';
+      AppendLineSafe(&out, value.text);
+      out += "\r\n";
+      break;
+    case RespType::kError:
+      out += '-';
+      AppendLineSafe(&out, value.text);
+      out += "\r\n";
+      break;
+    case RespType::kInteger:
+      out += ':';
+      out += std::to_string(value.integer);
+      out += "\r\n";
+      break;
+    case RespType::kBulkString:
+      out += '$';
+      out += std::to_string(value.text.size());
+      out += "\r\n";
+      out += value.text;
+      out += "\r\n";
+      break;
+    case RespType::kNull:
+      out += "$-1\r\n";
+      break;
+    case RespType::kArray:
+      out += '*';
+      out += std::to_string(value.elements.size());
+      out += "\r\n";
+      for (const RespValue& element : value.elements) {
+        out += Encode(element);
+      }
+      break;
+  }
+  return out;
+}
+
+std::string EncodeCommand(const std::vector<std::string>& argv) {
+  std::vector<RespValue> elements;
+  elements.reserve(argv.size());
+  for (const std::string& arg : argv) elements.push_back(RespValue::Bulk(arg));
+  return Encode(RespValue::Array(std::move(elements)));
+}
+
+ParseResult ParseValue(std::string_view bytes) {
+  size_t end = 0;
+  ParseResult result = ParseAt(bytes, 0, &end, /*array_limit=*/-1);
+  if (result.status == ParseStatus::kOk) result.consumed = end;
+  return result;
+}
+
+namespace {
+
+CommandParse CommandError(std::string message) {
+  CommandParse result;
+  result.status = ParseStatus::kError;
+  result.error = std::move(message);
+  return result;
+}
+
+CommandParse ParseInlineCommand(std::string_view bytes) {
+  const size_t lf = bytes.find('\n');
+  if (lf == std::string_view::npos) return CommandParse{};
+  size_t line_end = lf;
+  if (line_end > 0 && bytes[line_end - 1] == '\r') --line_end;
+  CommandParse result;
+  result.status = ParseStatus::kOk;
+  result.consumed = lf + 1;
+  size_t pos = 0;
+  while (pos < line_end) {
+    while (pos < line_end && (bytes[pos] == ' ' || bytes[pos] == '\t')) ++pos;
+    size_t start = pos;
+    while (pos < line_end && bytes[pos] != ' ' && bytes[pos] != '\t') ++pos;
+    if (pos > start) {
+      result.argv.emplace_back(bytes.substr(start, pos - start));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+CommandParse ParseCommand(std::string_view bytes) {
+  if (bytes.empty()) return CommandParse{};
+  if (bytes[0] != '*') return ParseInlineCommand(bytes);
+  size_t end = 0;
+  ParseResult request = ParseAt(bytes, 0, &end, kMaxMultibulkLen);
+  if (request.status == ParseStatus::kOk) request.consumed = end;
+  if (request.status == ParseStatus::kIncomplete) return CommandParse{};
+  if (request.status == ParseStatus::kError) {
+    return CommandError(std::move(request.error));
+  }
+  if (request.value.type != RespType::kArray) {
+    // *-1\r\n from a client: not a valid request.
+    return CommandError("Protocol error: invalid multibulk length");
+  }
+  CommandParse result;
+  result.status = ParseStatus::kOk;
+  result.consumed = request.consumed;
+  result.argv.reserve(request.value.elements.size());
+  for (RespValue& element : request.value.elements) {
+    if (element.type != RespType::kBulkString) {
+      return CommandError("Protocol error: expected '$', got something else");
+    }
+    result.argv.push_back(std::move(element.text));
+  }
+  return result;
+}
+
+}  // namespace cuckoograph::redis_sim

@@ -1,0 +1,167 @@
+// Unit tests for the Neo4j-style property graph simulation: record-store
+// semantics (auto-created nodes, parallel relationships, property maps,
+// adjacency-scan accounting) and the CuckooGraph-indexed variant's
+// agreement with the pure store on randomized streams.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "neo4j_sim/indexed_property_graph.h"
+#include "neo4j_sim/property_graph.h"
+
+namespace cuckoograph::neo4j_sim {
+namespace {
+
+TEST(PropertyGraphStoreTest, CreateRelationshipAutoCreatesNodes) {
+  PropertyGraphStore store;
+  EXPECT_FALSE(store.HasNode(1));
+  const RelId rel = store.CreateRelationship(1, 2, "KNOWS");
+  EXPECT_TRUE(store.HasNode(1));
+  EXPECT_TRUE(store.HasNode(2));
+  EXPECT_EQ(store.NumNodes(), 2u);
+  EXPECT_EQ(store.NumRelationships(), 1u);
+  EXPECT_EQ(store.relationship(rel).start, 1u);
+  EXPECT_EQ(store.relationship(rel).end, 2u);
+  EXPECT_EQ(store.relationship(rel).type, "KNOWS");
+}
+
+TEST(PropertyGraphStoreTest, ParallelRelationshipsAreDistinctRecords) {
+  PropertyGraphStore store;
+  const RelId first = store.CreateRelationship(1, 2);
+  const RelId second = store.CreateRelationship(1, 2);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(store.NumRelationships(), 2u);
+  EXPECT_EQ(store.OutDegree(1), 2u);
+  const std::vector<RelId> found = store.FindRelationships(1, 2);
+  EXPECT_EQ(found, (std::vector<RelId>{second, first}));  // newest first
+}
+
+TEST(PropertyGraphStoreTest, FindScansTheWholeOutChain) {
+  PropertyGraphStore store;
+  for (NodeId v = 10; v < 20; ++v) store.CreateRelationship(1, v);
+  const size_t before = store.scan_steps();
+  EXPECT_EQ(store.FindRelationships(1, 10).size(), 1u);
+  // Node 1 has ten out-relationships; the match (its oldest) is found
+  // only after walking every chain record.
+  EXPECT_EQ(store.scan_steps() - before, 10u);
+  EXPECT_TRUE(store.FindRelationships(1, 999).empty());
+  EXPECT_TRUE(store.FindRelationships(999, 1).empty());  // absent start
+}
+
+TEST(PropertyGraphStoreTest, DirectedSemantics) {
+  PropertyGraphStore store;
+  store.CreateRelationship(1, 2);
+  EXPECT_EQ(store.FindRelationships(1, 2).size(), 1u);
+  EXPECT_TRUE(store.FindRelationships(2, 1).empty());
+  EXPECT_EQ(store.OutDegree(2), 0u);
+}
+
+TEST(PropertyGraphStoreTest, NodeAndRelationshipProperties) {
+  PropertyGraphStore store;
+  const RelId rel = store.CreateRelationship(1, 2, "KNOWS");
+  store.SetRelationshipProperty(rel, "since", "2021");
+  store.SetNodeProperty(1, "name", "alice");
+  store.SetNodeProperty(7, "name", "ghost");  // auto-creates node 7
+
+  ASSERT_NE(store.GetRelationshipProperty(rel, "since"), nullptr);
+  EXPECT_EQ(*store.GetRelationshipProperty(rel, "since"), "2021");
+  EXPECT_EQ(store.GetRelationshipProperty(rel, "absent"), nullptr);
+  ASSERT_NE(store.GetNodeProperty(1, "name"), nullptr);
+  EXPECT_EQ(*store.GetNodeProperty(1, "name"), "alice");
+  EXPECT_EQ(store.GetNodeProperty(2, "name"), nullptr);
+  EXPECT_TRUE(store.HasNode(7));
+  EXPECT_EQ(store.OutDegree(7), 0u);
+
+  store.SetNodeProperty(1, "name", "alicia");  // overwrite
+  EXPECT_EQ(*store.GetNodeProperty(1, "name"), "alicia");
+}
+
+TEST(PropertyGraphStoreTest, MemoryGrowsWithRecords) {
+  PropertyGraphStore store;
+  const size_t empty = store.MemoryBytes();
+  for (NodeId v = 0; v < 100; ++v) store.CreateRelationship(0, v);
+  EXPECT_GT(store.MemoryBytes(), empty);
+}
+
+TEST(IndexedPropertyGraphTest, FindMatchesPureStoreOnParallelEdges) {
+  IndexedPropertyGraph indexed;
+  const RelId a = indexed.CreateRelationship(1, 2);
+  indexed.CreateRelationship(1, 3);
+  const RelId b = indexed.CreateRelationship(1, 2);
+
+  std::vector<RelId> found;
+  for (auto it = indexed.FindRelationships(1, 2); it.Valid(); it.Next()) {
+    found.push_back(it.Id());
+  }
+  EXPECT_EQ(found, (std::vector<RelId>{b, a}));  // newest first
+  EXPECT_EQ(indexed.CountRelationships(1, 2), 2u);
+  EXPECT_EQ(indexed.CountRelationships(1, 3), 1u);
+}
+
+TEST(IndexedPropertyGraphTest, NegativeLookupsNeverTouchTheRecordStore) {
+  IndexedPropertyGraph indexed;
+  indexed.CreateRelationship(1, 2);
+  const size_t scans_before = indexed.store().scan_steps();
+  EXPECT_FALSE(indexed.FindRelationships(1, 99).Valid());
+  EXPECT_FALSE(indexed.FindRelationships(42, 2).Valid());
+  EXPECT_FALSE(indexed.HasRelationship(2, 1));
+  EXPECT_EQ(indexed.index_rejects(), 2u);  // HasRelationship not counted
+  EXPECT_EQ(indexed.store().scan_steps(), scans_before);
+}
+
+TEST(IndexedPropertyGraphTest, IteratorExposesRecords) {
+  IndexedPropertyGraph indexed;
+  const RelId rel = indexed.CreateRelationship(5, 6, "LIKES");
+  indexed.SetRelationshipProperty(rel, "weight", "3");
+  auto it = indexed.FindRelationships(5, 6);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.record().type, "LIKES");
+  EXPECT_EQ(*indexed.store().GetRelationshipProperty(it.Id(), "weight"),
+            "3");
+  it.Next();
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(IndexedPropertyGraphTest, IndexTracksEveryDistinctPairExactlyOnce) {
+  IndexedPropertyGraph indexed;
+  indexed.CreateRelationship(1, 2);
+  indexed.CreateRelationship(1, 2);  // parallel: same index edge
+  indexed.CreateRelationship(2, 1);
+  EXPECT_EQ(indexed.index().NumEdges(), 2u);
+  EXPECT_EQ(indexed.store().NumRelationships(), 3u);
+}
+
+TEST(IndexedPropertyGraphTest, AgreesWithPureStoreOnRandomStream) {
+  // The Figure 18 equivalence, shrunk: same random multigraph into both
+  // stores, then every queried pair must return the same relationship
+  // multiset (compared as counts; ids are creation-ordered in both).
+  PropertyGraphStore pure;
+  IndexedPropertyGraph indexed;
+  SplitMix64 rng(12345);
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId u = rng.NextBelow(64);
+    const NodeId v = rng.NextBelow(64);
+    pure.CreateRelationship(u, v);
+    indexed.CreateRelationship(u, v);
+  }
+  for (NodeId u = 0; u < 64; ++u) {
+    for (NodeId v = 0; v < 64; ++v) {
+      const std::vector<RelId> expected = pure.FindRelationships(u, v);
+      std::vector<RelId> actual;
+      for (auto it = indexed.FindRelationships(u, v); it.Valid();
+           it.Next()) {
+        actual.push_back(it.Id());
+      }
+      ASSERT_EQ(actual, expected) << u << "->" << v;
+    }
+  }
+  // Maintaining the index costs memory the pure store does not pay.
+  EXPECT_GT(indexed.MemoryBytes(), pure.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace cuckoograph::neo4j_sim

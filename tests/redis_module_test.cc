@@ -1,0 +1,199 @@
+// Unit tests for the module host (registration, dispatch, arity and
+// error replies, pipelining, the stateful byte buffer) and the CG.*
+// CuckooGraph command family, all driven through SimClient so every
+// assertion covers a full serialize-parse-dispatch-reply round trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "redis_sim/cuckoograph_module.h"
+#include "redis_sim/module_host.h"
+#include "redis_sim/resp.h"
+
+namespace cuckoograph::redis_sim {
+namespace {
+
+class CuckooGraphModuleTest : public ::testing::Test {
+ protected:
+  CuckooGraphModuleTest() : client_(&server_) { module_.Register(&server_); }
+
+  long long Int(const std::vector<std::string>& argv) {
+    const RespValue reply = client_.Execute(argv);
+    EXPECT_EQ(reply.type, RespType::kInteger) << reply.text;
+    return reply.integer;
+  }
+
+  RedisServerSim server_;
+  CuckooGraphModule module_;
+  SimClient client_;
+};
+
+TEST_F(CuckooGraphModuleTest, InsertQueryDeleteRoundTrip) {
+  EXPECT_EQ(Int({"CG.INSERT", "1", "2"}), 1);
+  EXPECT_EQ(Int({"CG.INSERT", "1", "2"}), 0);  // duplicate
+  EXPECT_EQ(Int({"CG.QUERY", "1", "2"}), 1);
+  EXPECT_EQ(Int({"CG.QUERY", "2", "1"}), 0);  // directed
+  EXPECT_EQ(Int({"CG.DEL", "1", "2"}), 1);
+  EXPECT_EQ(Int({"CG.DEL", "1", "2"}), 0);  // already gone
+  EXPECT_EQ(Int({"CG.QUERY", "1", "2"}), 0);
+  EXPECT_EQ(module_.graph().NumEdges(), 0u);
+}
+
+TEST_F(CuckooGraphModuleTest, DeleteAliasMatchesDel) {
+  EXPECT_EQ(Int({"CG.INSERT", "5", "6"}), 1);
+  EXPECT_EQ(Int({"CG.DELETE", "5", "6"}), 1);
+  EXPECT_EQ(Int({"CG.QUERY", "5", "6"}), 0);
+}
+
+TEST_F(CuckooGraphModuleTest, CommandNamesAreCaseInsensitive) {
+  EXPECT_EQ(Int({"cg.insert", "1", "2"}), 1);
+  EXPECT_EQ(Int({"Cg.QuErY", "1", "2"}), 1);
+}
+
+TEST_F(CuckooGraphModuleTest, DegreeAndNeighbors) {
+  for (const char* v : {"10", "11", "12"}) {
+    EXPECT_EQ(Int({"CG.INSERT", "7", v}), 1);
+  }
+  EXPECT_EQ(Int({"CG.DEGREE", "7"}), 3);
+  EXPECT_EQ(Int({"CG.DEGREE", "999"}), 0);  // absent vertex
+
+  const RespValue reply = client_.Execute({"CG.NEIGHBORS", "7"});
+  ASSERT_EQ(reply.type, RespType::kArray);
+  std::vector<std::string> neighbors;
+  for (const RespValue& element : reply.elements) {
+    ASSERT_EQ(element.type, RespType::kBulkString);
+    neighbors.push_back(element.text);
+  }
+  std::sort(neighbors.begin(), neighbors.end());
+  EXPECT_EQ(neighbors, (std::vector<std::string>{"10", "11", "12"}));
+}
+
+TEST_F(CuckooGraphModuleTest, NeighborsOfAbsentVertexIsEmptyArray) {
+  const RespValue reply = client_.Execute({"CG.NEIGHBORS", "424242"});
+  ASSERT_EQ(reply.type, RespType::kArray);
+  EXPECT_TRUE(reply.elements.empty());
+}
+
+TEST_F(CuckooGraphModuleTest, WrongArityIsAnError) {
+  for (const std::vector<std::string>& argv :
+       {std::vector<std::string>{"CG.INSERT", "1"},
+        std::vector<std::string>{"CG.INSERT", "1", "2", "3"},
+        std::vector<std::string>{"CG.QUERY"},
+        std::vector<std::string>{"CG.DEGREE", "1", "2"}}) {
+    const RespValue reply = client_.Execute(argv);
+    EXPECT_TRUE(reply.IsError()) << argv[0];
+    EXPECT_NE(reply.text.find("wrong number of arguments"),
+              std::string::npos);
+  }
+  // Arity failures never reach the graph.
+  EXPECT_EQ(module_.graph().NumEdges(), 0u);
+}
+
+TEST_F(CuckooGraphModuleTest, NonIntegerNodeIdsAreErrors) {
+  for (const char* bad : {"abc", "1.5", "-1", "4294967296", "", "1x"}) {
+    const RespValue reply = client_.Execute({"CG.INSERT", bad, "2"});
+    EXPECT_TRUE(reply.IsError()) << bad;
+    EXPECT_EQ(reply.text, "ERR value is not an integer or out of range");
+  }
+  EXPECT_EQ(module_.graph().NumEdges(), 0u);
+}
+
+TEST_F(CuckooGraphModuleTest, FullNodeIdRangeIsAccepted) {
+  EXPECT_EQ(Int({"CG.INSERT", "0", "4294967295"}), 1);
+  EXPECT_EQ(Int({"CG.QUERY", "0", "4294967295"}), 1);
+}
+
+TEST_F(CuckooGraphModuleTest, UnknownCommandIsAnError) {
+  const RespValue reply = client_.Execute({"CG.NOPE", "1", "2"});
+  ASSERT_TRUE(reply.IsError());
+  EXPECT_NE(reply.text.find("unknown command 'CG.NOPE'"),
+            std::string::npos);
+}
+
+TEST_F(CuckooGraphModuleTest, CrlfInCommandNameCannotDesyncTheStream) {
+  // A bulk-string command name may legally contain CRLF; the echoed
+  // error reply must not split the frame and poison later replies.
+  const RespValue reply = client_.Execute({"bad\r\nname", "1"});
+  ASSERT_TRUE(reply.IsError());
+  EXPECT_EQ(reply.text.find('\r'), std::string::npos);
+  EXPECT_EQ(reply.text.find('\n'), std::string::npos);
+  EXPECT_EQ(Int({"CG.INSERT", "1", "2"}), 1);  // stream still in sync
+}
+
+TEST_F(CuckooGraphModuleTest, InlineCommandsDispatchToo) {
+  EXPECT_EQ(client_.ExecuteInline("CG.INSERT 3 4").integer, 1);
+  EXPECT_EQ(client_.ExecuteInline("CG.QUERY 3 4").integer, 1);
+}
+
+TEST_F(CuckooGraphModuleTest, ServerStatsCountTraffic) {
+  Int({"CG.INSERT", "1", "2"});
+  client_.Execute({"CG.NOPE"});
+  const RedisServerSim::Stats& stats = server_.stats();
+  EXPECT_EQ(stats.commands_dispatched, 1u);  // CG.NOPE never dispatched
+  EXPECT_EQ(stats.error_replies, 1u);
+  EXPECT_GT(stats.bytes_in, 0u);
+  EXPECT_GT(stats.bytes_out, 0u);
+}
+
+TEST(RedisServerSimTest, RegistrationRejectsDuplicatesCaseInsensitively) {
+  RedisServerSim server;
+  const auto handler = [](const std::vector<std::string>&) {
+    return RespValue::Simple("OK");
+  };
+  EXPECT_TRUE(server.RegisterCommand("PING", -1, handler));
+  EXPECT_FALSE(server.RegisterCommand("ping", -1, handler));
+  EXPECT_EQ(server.CommandNames(), std::vector<std::string>{"PING"});
+}
+
+TEST(RedisServerSimTest, NegativeArityMeansAtLeast) {
+  RedisServerSim server;
+  server.RegisterCommand("VARARG", -2,
+                         [](const std::vector<std::string>& argv) {
+                           return RespValue::Integer(
+                               static_cast<long long>(argv.size()));
+                         });
+  SimClient client(&server);
+  EXPECT_TRUE(client.Execute({"VARARG"}).IsError());
+  EXPECT_EQ(client.Execute({"VARARG", "a"}).integer, 2);
+  EXPECT_EQ(client.Execute({"VARARG", "a", "b", "c"}).integer, 4);
+}
+
+TEST(RedisServerSimTest, PipelinedCommandsYieldBackToBackReplies) {
+  RedisServerSim server;
+  CuckooGraphModule module;
+  module.Register(&server);
+  const std::string replies = server.Feed(
+      EncodeCommand({"CG.INSERT", "1", "2"}) +
+      EncodeCommand({"CG.QUERY", "1", "2"}) +
+      EncodeCommand({"CG.QUERY", "8", "9"}));
+  EXPECT_EQ(replies, ":1\r\n:1\r\n:0\r\n");
+}
+
+TEST(RedisServerSimTest, SplitFeedBuffersUntilCommandCompletes) {
+  RedisServerSim server;
+  CuckooGraphModule module;
+  module.Register(&server);
+  const std::string wire = EncodeCommand({"CG.INSERT", "1", "2"});
+  const std::string first = server.Feed(wire.substr(0, 9));
+  EXPECT_TRUE(first.empty());  // mid-command: no reply yet
+  const std::string second = server.Feed(wire.substr(9));
+  EXPECT_EQ(second, ":1\r\n");
+}
+
+TEST(RedisServerSimTest, ProtocolErrorRepliesAndDropsTheStream) {
+  RedisServerSim server;
+  CuckooGraphModule module;
+  module.Register(&server);
+  const std::string replies =
+      server.Feed("*1\r\n:5\r\n" + EncodeCommand({"CG.INSERT", "1", "2"}));
+  EXPECT_EQ(replies.rfind("-ERR Protocol error", 0), 0u) << replies;
+  // Everything behind the poisoned request was discarded.
+  EXPECT_EQ(module.graph().NumEdges(), 0u);
+  // The connection recovers for fresh requests.
+  EXPECT_EQ(server.Feed(EncodeCommand({"CG.INSERT", "1", "2"})), ":1\r\n");
+}
+
+}  // namespace
+}  // namespace cuckoograph::redis_sim
