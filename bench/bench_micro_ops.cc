@@ -14,6 +14,8 @@
 #include "common/bob_hash.h"
 #include "common/rng.h"
 #include "core/cuckoo_graph.h"
+#include "core/internal/simd_probe.h"
+#include "core/sharded_cuckoo_graph.h"
 #include "core/weighted_cuckoo_graph.h"
 
 namespace cuckoograph {
@@ -239,6 +241,107 @@ void BM_BfsOverVirtualStore(benchmark::State& state) {
                           static_cast<int64_t>(graph.NumEdges()));
 }
 BENCHMARK(BM_BfsOverVirtualStore)->Arg(10'000)->Arg(100'000);
+
+// ---- SIMD bucket-probe guard -------------------------------------------
+// The selected backend (sse2/neon) against the always-compiled scalar
+// reference, at the default bucket width (d = 8) and the Figure 2 maximum
+// (d = 32). The spread is the vectorization win the L-CHT/S-CHT FindSlot
+// hot path inherits; if the backend is already "scalar" the two series
+// coincide.
+
+void FillProbeBytes(std::vector<uint8_t>* bytes) {
+  SplitMix64 rng(5);
+  for (auto& b : *bytes) b = static_cast<uint8_t>(rng.NextBelow(250) + 1);
+}
+
+void BM_ProbeBucketSimd(benchmark::State& state) {
+  std::vector<uint8_t> bytes(
+      static_cast<size_t>(state.range(0)) + internal::kBytePadding);
+  FillProbeBytes(&bytes);
+  const size_t count = static_cast<size_t>(state.range(0));
+  uint8_t needle = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        internal::MatchByteMask(bytes.data(), count, ++needle));
+  }
+  state.SetLabel(internal::ProbeBackendName());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProbeBucketSimd)->Arg(8)->Arg(32);
+
+void BM_ProbeBucketScalar(benchmark::State& state) {
+  std::vector<uint8_t> bytes(
+      static_cast<size_t>(state.range(0)) + internal::kBytePadding);
+  FillProbeBytes(&bytes);
+  const size_t count = static_cast<size_t>(state.range(0));
+  uint8_t needle = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        internal::MatchByteMaskScalar(bytes.data(), count, ++needle));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProbeBucketScalar)->Arg(8)->Arg(32);
+
+void BM_ProbeInlineKeysSimd(benchmark::State& state) {
+  NodeId keys[internal::kKeyLanes];
+  SplitMix64 rng(6);
+  for (NodeId& k : keys) k = rng.NextBelow(1'000'000);
+  NodeId needle = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        internal::MatchKeyMask(keys, internal::kKeyLanes, ++needle));
+  }
+  state.SetLabel(internal::ProbeBackendName());
+}
+BENCHMARK(BM_ProbeInlineKeysSimd);
+
+void BM_ProbeInlineKeysScalar(benchmark::State& state) {
+  NodeId keys[internal::kKeyLanes];
+  SplitMix64 rng(6);
+  for (NodeId& k : keys) k = rng.NextBelow(1'000'000);
+  NodeId needle = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        internal::MatchKeyMaskScalar(keys, internal::kKeyLanes, ++needle));
+  }
+}
+BENCHMARK(BM_ProbeInlineKeysScalar);
+
+// ---- Sharded front-end overhead guard ----------------------------------
+// One-thread sharded ops vs the raw core: the spread is the per-op price
+// of the stripe lock + shard routing (the single-thread trade-off
+// docs/PERFORMANCE.md quotes); the multi-thread payoff is measured by
+// bench_scalability, not here (google-benchmark threads would share the
+// graph, which is exactly what it measures already).
+
+void BM_ShardedInsertEdge(benchmark::State& state) {
+  const auto workload = MakeWorkload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ShardedCuckooGraph graph;
+    state.ResumeTiming();
+    for (const Edge& e : workload) {
+      benchmark::DoNotOptimize(graph.InsertEdge(e.u, e.v));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(workload.size()));
+}
+BENCHMARK(BM_ShardedInsertEdge)->Arg(100'000);
+
+void BM_ShardedQueryEdge(benchmark::State& state) {
+  const auto workload = MakeWorkload(static_cast<size_t>(state.range(0)));
+  ShardedCuckooGraph graph;
+  for (const Edge& e : workload) graph.InsertEdge(e.u, e.v);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Edge& e = workload[i++ % workload.size()];
+    benchmark::DoNotOptimize(graph.QueryEdge(e.u, e.v));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShardedQueryEdge)->Arg(100'000);
 
 void BM_WeightedAdd(benchmark::State& state) {
   WeightedCuckooGraph graph;

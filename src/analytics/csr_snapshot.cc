@@ -61,6 +61,12 @@ CsrSnapshot CsrSnapshot::Build(std::vector<Edge> edges,
 
 CsrSnapshot CsrSnapshot::FromStore(const GraphStore& store,
                                    SnapshotOptions opts) {
+  // Quiesced-snapshot contract (see the header): the build drains cursors
+  // across the whole store, so no writer may run concurrently — not even
+  // on a store whose Capabilities() advertise concurrent_mutations. The
+  // edge-count recheck below catches a mutating store after the fact.
+  const size_t edges_at_start = store.NumEdges();
+
   // Drain the node cursor fully before opening neighbor cursors, and pull
   // weights only after every cursor is closed.
   std::vector<NodeId> sources;
@@ -81,6 +87,12 @@ CsrSnapshot CsrSnapshot::FromStore(const GraphStore& store,
     for (const Edge& e : edges) weights.push_back(store.EdgeWeight(e.u, e.v));
   }
 
+  if (store.NumEdges() != edges_at_start || edges.size() != edges_at_start) {
+    throw std::logic_error(
+        "CsrSnapshot::FromStore: store mutated during the snapshot build; "
+        "quiesce writers before snapshotting (see csr_snapshot.h)");
+  }
+
   // The universe is every endpoint: sinks holding no out-edges still need
   // dense ids because neighbor segments point at them.
   std::vector<NodeId> universe;
@@ -96,6 +108,11 @@ CsrSnapshot CsrSnapshot::FromStore(const GraphStore& store,
 CsrSnapshot CsrSnapshot::FromStore(const GraphStore& store,
                                    Span<const NodeId> nodes,
                                    SnapshotOptions opts) {
+  // Same quiesced-snapshot contract as the full-store overload; the
+  // induced walk only sees the subgraph, so the store-wide edge count is
+  // the recheck (a mutation outside `nodes` still races the cursors).
+  const size_t edges_at_start = store.NumEdges();
+
   std::vector<NodeId> universe =
       SortedUnique(std::vector<NodeId>(nodes.begin(), nodes.end()));
   const auto member = [&universe](NodeId v) {
@@ -107,6 +124,13 @@ CsrSnapshot CsrSnapshot::FromStore(const GraphStore& store,
     store.ForEachNeighbor(u, [&edges, &member, u](NodeId v) {
       if (member(v)) edges.push_back(Edge{u, v});
     });
+  }
+
+  if (store.NumEdges() != edges_at_start) {
+    throw std::logic_error(
+        "CsrSnapshot::FromStore: store mutated during the induced "
+        "snapshot build; quiesce writers before snapshotting (see "
+        "csr_snapshot.h)");
   }
 
   std::vector<uint64_t> weights;

@@ -47,12 +47,24 @@ class CsrSnapshot {
   // every endpoint (sinks with no out-edges included), dense ids assigned
   // in ascending original-id order so the snapshot is identical across
   // schemes holding the same edge set.
+  //
+  // Quiesced-snapshot contract: the build drains the store's cursors, and
+  // every cursor is invalidated by any mutation — so the store must be
+  // externally quiesced (no concurrent writers) for the whole call, even
+  // when Capabilities().concurrent_mutations holds (e.g. the sharded
+  // front-end, whose per-shard locks serialize individual ops but not a
+  // store-wide walk). The builder rechecks NumEdges() after the drain and
+  // throws std::logic_error when it caught the store moving; a mutation
+  // that leaves the count unchanged can evade the check, so the contract
+  // is the guarantee, the throw is best-effort detection.
   static CsrSnapshot FromStore(const GraphStore& store,
                                SnapshotOptions opts = {});
 
   // Snapshot of the subgraph induced by `nodes`: every stored edge with
   // both endpoints in `nodes`. The vertex universe is exactly the
-  // deduplicated `nodes` (degree-0 members included).
+  // deduplicated `nodes` (degree-0 members included). Same
+  // quiesced-snapshot contract and best-effort mutation recheck as the
+  // full-store overload above.
   static CsrSnapshot FromStore(const GraphStore& store,
                                Span<const NodeId> nodes,
                                SnapshotOptions opts = {});

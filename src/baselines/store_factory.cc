@@ -7,6 +7,7 @@
 #include "baselines/hash_map_store.h"
 #include "baselines/sorted_vector_store.h"
 #include "core/cuckoo_graph.h"
+#include "core/sharded_cuckoo_graph.h"
 #include "core/weighted_cuckoo_graph.h"
 
 namespace cuckoograph {
@@ -52,6 +53,10 @@ void EnsureBuiltins() {
     // weight-requiring benches (fig11 SSSP) find it via Capabilities().
     AddEntry("cuckoo-weighted",
              [] { return std::make_unique<WeightedCuckooGraph>(); });
+    // The concurrent sharded front-end (Config::num_shards shards at the
+    // default geometry); the only built-in advertising thread-safe ops.
+    AddEntry("cuckoo-sharded",
+             [] { return std::make_unique<ShardedCuckooGraph>(); });
     return true;
   }();
   (void)done;

@@ -48,6 +48,14 @@ struct Config {
   // Ablation (Figure 5): park kick-out failures in a denylist instead of
   // growing the affected table immediately.
   bool enable_deny_list = true;
+
+  // Shard count of the concurrent front-end (ShardedCuckooGraph): the
+  // structure is partitioned by source-vertex hash into this many
+  // independent CuckooGraph shards behind per-shard locks. Ignored by the
+  // single-threaded CuckooGraph itself. The benches' --shards flag feeds
+  // this; docs/PERFORMANCE.md covers selection (2-4x the writer thread
+  // count is a good default).
+  size_t num_shards = 16;
 };
 
 }  // namespace cuckoograph

@@ -7,6 +7,10 @@
 
 namespace cuckoograph {
 
+static_assert(CuckooGraph::kInlineSlots <=
+                  static_cast<int>(internal::kKeyLanes),
+              "inline slots must fit the SIMD key-probe lane count");
+
 namespace internal {
 
 // A per-vertex S-CHT chain: up to R nested cuckoo tables (head first) plus
@@ -25,7 +29,10 @@ namespace {
 Config Normalize(Config config) {
   config.l_initial_buckets = std::max<size_t>(1, config.l_initial_buckets);
   config.s_initial_buckets = std::max<size_t>(1, config.s_initial_buckets);
-  config.cells_per_bucket = std::max(1, config.cells_per_bucket);
+  // One probe mask covers a whole bucket, so d is capped at the mask width.
+  config.cells_per_bucket =
+      std::min<int>(internal::kMaxProbeWidth,
+                    std::max(1, config.cells_per_bucket));
   config.max_kicks = std::max(1, config.max_kicks);
   config.max_chain_tables = std::max(1, config.max_chain_tables);
   config.denylist_limit = std::max(0, config.denylist_limit);
@@ -60,17 +67,19 @@ bool CuckooGraph::InsertEdge(NodeId u, NodeId v) {
 
 bool CuckooGraph::QueryEdge(NodeId u, NodeId v) const {
   const VertexEntry* e = FindVertex(u);
-  return e != nullptr && FindNeighbor(e, v) != nullptr;
+  return e != nullptr && FindWeight(e, v) != nullptr;
 }
 
 bool CuckooGraph::DeleteEdge(NodeId u, NodeId v) {
   VertexEntry* e = FindVertex(u);
   if (e == nullptr) return false;
   if (!e->has_chain) {
-    uint32_t i = 0;
-    while (i < e->degree && e->inline_slots[i].v != v) ++i;
-    if (i == e->degree) return false;
-    e->inline_slots[i] = e->inline_slots[e->degree - 1];
+    const uint32_t mask =
+        internal::MatchKeyMask(e->inline_.v, e->degree, v);
+    if (mask == 0) return false;
+    const uint32_t i = static_cast<uint32_t>(__builtin_ctz(mask));
+    e->inline_.v[i] = e->inline_.v[e->degree - 1];
+    e->inline_.w[i] = e->inline_.w[e->degree - 1];
     --e->degree;
   } else {
     if (!ChainErase(e->chain, v)) return false;
@@ -98,7 +107,7 @@ class CuckooGraph::NeighborCursorImpl final : public NeighborCursor {
     size_t written = 0;
     if (!e_->has_chain) {
       while (written < capacity && inline_i_ < e_->degree) {
-        out[written++] = e_->inline_slots[inline_i_++].v;
+        out[written++] = e_->inline_.v[inline_i_++];
       }
       return written;
     }
@@ -210,8 +219,8 @@ uint64_t CuckooGraph::AddEdgeWeight(NodeId u, NodeId v, uint32_t delta) {
 uint64_t CuckooGraph::GetEdgeWeight(NodeId u, NodeId v) const {
   const VertexEntry* e = FindVertex(u);
   if (e == nullptr) return 0;
-  const Neighbor* n = FindNeighbor(e, v);
-  return n == nullptr ? 0 : n->weight;
+  const uint32_t* w = FindWeight(e, v);
+  return w == nullptr ? 0 : *w;
 }
 
 // ---- Vertex lookup and the L-CHT -------------------------------------------
@@ -229,25 +238,25 @@ const CuckooGraph::VertexEntry* CuckooGraph::FindVertex(NodeId u) const {
   return const_cast<CuckooGraph*>(this)->FindVertex(u);
 }
 
-CuckooGraph::Neighbor* CuckooGraph::FindNeighbor(VertexEntry* e, NodeId v) {
-  return const_cast<Neighbor*>(
-      static_cast<const CuckooGraph*>(this)->FindNeighbor(e, v));
+uint32_t* CuckooGraph::FindWeight(VertexEntry* e, NodeId v) {
+  return const_cast<uint32_t*>(
+      static_cast<const CuckooGraph*>(this)->FindWeight(e, v));
 }
 
-const CuckooGraph::Neighbor* CuckooGraph::FindNeighbor(const VertexEntry* e,
-                                                       NodeId v) const {
+const uint32_t* CuckooGraph::FindWeight(const VertexEntry* e,
+                                        NodeId v) const {
   if (!e->has_chain) {
-    for (uint32_t i = 0; i < e->degree; ++i) {
-      if (e->inline_slots[i].v == v) return &e->inline_slots[i];
-    }
-    return nullptr;
+    const uint32_t mask =
+        internal::MatchKeyMask(e->inline_.v, e->degree, v);
+    if (mask == 0) return nullptr;
+    return &e->inline_.w[__builtin_ctz(mask)];
   }
   for (const auto& t : e->chain->tables) {
     const size_t slot = t.FindSlot(v, h1_, h2_);
-    if (slot != internal::kNoSlot) return &t.cell(slot);
+    if (slot != internal::kNoSlot) return &t.cell(slot).weight;
   }
   for (const Neighbor& n : e->chain->denylist) {
-    if (n.v == v) return &n;
+    if (n.v == v) return &n.weight;
   }
   return nullptr;
 }
@@ -257,10 +266,10 @@ std::pair<uint64_t, bool> CuckooGraph::Upsert(NodeId u, NodeId v,
                                               bool accumulate) {
   VertexEntry* e = FindVertex(u);
   if (e != nullptr) {
-    Neighbor* n = FindNeighbor(e, v);
-    if (n != nullptr) {
-      if (accumulate) n->weight += delta;
-      return {n->weight, false};
+    uint32_t* w = FindWeight(e, v);
+    if (w != nullptr) {
+      if (accumulate) *w += delta;
+      return {*w, false};
     }
     AppendNeighbor(e, Neighbor{v, delta});
     ++e->degree;
@@ -271,7 +280,8 @@ std::pair<uint64_t, bool> CuckooGraph::Upsert(NodeId u, NodeId v,
   entry.key = u;
   entry.degree = 1;
   if (config_.enable_inline_slots) {
-    entry.inline_slots[0] = Neighbor{v, delta};
+    entry.inline_.v[0] = v;
+    entry.inline_.w[0] = delta;
   } else {
     entry.has_chain = true;
     entry.chain = NewChain();
@@ -290,7 +300,8 @@ std::pair<uint64_t, bool> CuckooGraph::Upsert(NodeId u, NodeId v,
 void CuckooGraph::AppendNeighbor(VertexEntry* e, Neighbor n) {
   if (!e->has_chain) {
     if (e->degree < static_cast<uint32_t>(kInlineSlots)) {
-      e->inline_slots[e->degree] = n;
+      e->inline_.v[e->degree] = n.v;
+      e->inline_.w[e->degree] = n.weight;
       return;
     }
     TransformToChain(e);
@@ -393,7 +404,9 @@ void CuckooGraph::FreeChain(internal::Chain* c) {
 void CuckooGraph::TransformToChain(VertexEntry* e) {
   Neighbor moved[kInlineSlots];
   const uint32_t count = e->degree;
-  std::copy(e->inline_slots, e->inline_slots + count, moved);
+  for (uint32_t i = 0; i < count; ++i) {
+    moved[i] = Neighbor{e->inline_.v[i], e->inline_.w[i]};
+  }
   e->chain = NewChain();
   e->has_chain = true;
   ++transformations_;
@@ -527,7 +540,10 @@ void CuckooGraph::MaybeReverseTransform(VertexEntry* e) {
     for (const Neighbor& n : c->denylist) moved[count++] = n;
     FreeChain(c);
     e->has_chain = false;
-    std::copy(moved, moved + count, e->inline_slots);
+    for (uint32_t i = 0; i < count; ++i) {
+      e->inline_.v[i] = moved[i].v;
+      e->inline_.w[i] = moved[i].weight;
+    }
     ++reverse_transformations_;
     return;
   }

@@ -105,25 +105,35 @@ class CuckooGraph : public GraphStore {
   uint64_t GetEdgeWeight(NodeId u, NodeId v) const;
 
  private:
-  // One stored neighbour. The weight slot is 1 for unweighted edges and
-  // the accumulated multiplicity in the weighted variant.
+  // One stored neighbour (the S-CHT chain item). The weight slot is 1 for
+  // unweighted edges and the accumulated multiplicity in the weighted
+  // variant.
   struct Neighbor {
     NodeId v = 0;
     uint32_t weight = 0;
     NodeId CuckooKey() const { return v; }
   };
 
+  // Inline adjacency of a low-degree vertex, as parallel arrays so the
+  // neighbour keys sit contiguously and one vector compare probes every
+  // slot (internal::MatchKeyMask). The arrays are sized at the SIMD lane
+  // count (8 > kInlineSlots); lanes past `degree` are ignored.
+  struct InlineSlots {
+    NodeId v[internal::kKeyLanes];
+    uint32_t w[internal::kKeyLanes];
+  };
+
   // One L-CHT cell payload: the vertex and its adjacency, either inline
-  // (first kInlineSlots neighbours, packed) or an owned S-CHT chain.
+  // (first kInlineSlots neighbours) or an owned S-CHT chain.
   struct VertexEntry {
     NodeId key = 0;
     uint32_t degree = 0;
     bool has_chain = false;
     union {
-      Neighbor inline_slots[kInlineSlots];
+      InlineSlots inline_;
       internal::Chain* chain;
     };
-    VertexEntry() : chain(nullptr) {}
+    VertexEntry() : inline_{} {}
     NodeId CuckooKey() const { return key; }
   };
 
@@ -134,8 +144,11 @@ class CuckooGraph : public GraphStore {
 
   VertexEntry* FindVertex(NodeId u);
   const VertexEntry* FindVertex(NodeId u) const;
-  Neighbor* FindNeighbor(VertexEntry* e, NodeId v);
-  const Neighbor* FindNeighbor(const VertexEntry* e, NodeId v) const;
+  // Pointer to the stored weight of <e, v>, or nullptr when the edge is
+  // absent — presence probe and weight access in one lookup, across both
+  // the inline-slot and chain representations.
+  uint32_t* FindWeight(VertexEntry* e, NodeId v);
+  const uint32_t* FindWeight(const VertexEntry* e, NodeId v) const;
   // Core upsert shared by InsertEdge and AddEdgeWeight. Returns the
   // resulting weight and whether the edge is new.
   std::pair<uint64_t, bool> Upsert(NodeId u, NodeId v, uint32_t delta,

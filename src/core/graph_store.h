@@ -61,6 +61,11 @@ struct StoreCapabilities {
   // Neighbor iteration yields ascending NodeId order (deterministic
   // across runs and insertion orders).
   bool stable_iteration = false;
+  // Edge ops (Insert/Query/Delete/EdgeWeight/OutDegree, scalar and batch)
+  // may be called from multiple threads without external locking. Cursors
+  // are excluded: Neighbors()/Nodes() still require the store to be
+  // quiesced for as long as the cursor is drained, whatever the scheme.
+  bool concurrent_mutations = false;
 };
 
 class GraphStore {

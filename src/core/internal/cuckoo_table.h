@@ -9,6 +9,13 @@
 // leaves the last evicted survivor in *item, and since all items are
 // equally placeable the caller may park or re-place whichever survivor it
 // is handed.
+//
+// Probing is batched: alongside the cells the table keeps one fingerprint
+// byte per cell (0 = empty, a nonzero key-derived byte otherwise), and
+// FindSlot / free-cell scans compare a whole bucket's fingerprints per
+// probe through simd_probe.h. Only cells whose fingerprint matches are
+// verified against the full key, so a probe costs one vector compare plus
+// (almost always) at most one key comparison.
 #ifndef CUCKOOGRAPH_CORE_INTERNAL_CUCKOO_TABLE_H_
 #define CUCKOOGRAPH_CORE_INTERNAL_CUCKOO_TABLE_H_
 
@@ -20,10 +27,21 @@
 #include "common/bob_hash.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "core/internal/simd_probe.h"
 
 namespace cuckoograph::internal {
 
 inline constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+// Key -> nonzero fingerprint byte, from a fixed mixer so the same key maps
+// to the same fingerprint in every table (the hashes vary per table pair,
+// the fingerprint does not).
+inline uint8_t KeyFingerprint(NodeId key) {
+  uint32_t x = static_cast<uint32_t>(key) * 0x9E3779B1u;
+  x ^= x >> 15;
+  const uint8_t f = static_cast<uint8_t>(x >> 24);
+  return f == 0 ? 1 : f;
+}
 
 template <typename Item>
 class CuckooTable {
@@ -32,7 +50,7 @@ class CuckooTable {
       : num_buckets_(num_buckets),
         cells_per_bucket_(static_cast<size_t>(cells_per_bucket)),
         cells_(num_buckets * static_cast<size_t>(cells_per_bucket)),
-        used_(cells_.size(), 0) {}
+        fps_(cells_.size() + kBytePadding, 0) {}
 
   size_t num_buckets() const { return num_buckets_; }
   size_t num_cells() const { return cells_.size(); }
@@ -41,20 +59,17 @@ class CuckooTable {
 
   Item& cell(size_t slot) { return cells_[slot]; }
   const Item& cell(size_t slot) const { return cells_[slot]; }
-  bool used(size_t slot) const { return used_[slot] != 0; }
+  bool used(size_t slot) const { return fps_[slot] != 0; }
 
   // Returns the slot holding `key`, or kNoSlot.
   size_t FindSlot(NodeId key, const BobHash& h1, const BobHash& h2) const {
+    const uint8_t fp = KeyFingerprint(key);
     const size_t b1 = Bucket(h1, key);
-    for (size_t s = b1; s < b1 + cells_per_bucket_; ++s) {
-      if (used_[s] && cells_[s].CuckooKey() == key) return s;
-    }
+    size_t slot = MatchInBucket(b1, fp, key);
+    if (slot != kNoSlot) return slot;
     const size_t b2 = Bucket(h2, key);
     if (b2 == b1) return kNoSlot;
-    for (size_t s = b2; s < b2 + cells_per_bucket_; ++s) {
-      if (used_[s] && cells_[s].CuckooKey() == key) return s;
-    }
-    return kNoSlot;
+    return MatchInBucket(b2, fp, key);
   }
 
   // Places *item, evicting at most max_kicks victims. On success returns
@@ -70,7 +85,7 @@ class CuckooTable {
       const size_t free_slot = FreeCellIn(b1, b2);
       if (free_slot != kNoSlot) {
         cells_[free_slot] = *item;
-        used_[free_slot] = 1;
+        fps_[free_slot] = KeyFingerprint(key);
         ++size_;
         return true;
       }
@@ -80,26 +95,27 @@ class CuckooTable {
       const size_t slot =
           victim_bucket + rng->NextBelow64(cells_per_bucket_);
       std::swap(*item, cells_[slot]);
+      fps_[slot] = KeyFingerprint(cells_[slot].CuckooKey());
       ++*kicks;
     }
     return false;
   }
 
   void Erase(size_t slot) {
-    used_[slot] = 0;
+    fps_[slot] = 0;
     --size_;
   }
 
   template <typename Fn>
   void ForEach(Fn fn) const {
     for (size_t s = 0; s < cells_.size(); ++s) {
-      if (used_[s]) fn(cells_[s]);
+      if (fps_[s] != 0) fn(cells_[s]);
     }
   }
 
   size_t MemoryBytes() const {
     return cells_.capacity() * sizeof(Item) +
-           used_.capacity() * sizeof(uint8_t);
+           fps_.capacity() * sizeof(uint8_t);
   }
 
  private:
@@ -107,14 +123,23 @@ class CuckooTable {
     return (static_cast<size_t>(h(key)) % num_buckets_) * cells_per_bucket_;
   }
 
-  size_t FreeCellIn(size_t b1, size_t b2) const {
-    for (size_t s = b1; s < b1 + cells_per_bucket_; ++s) {
-      if (!used_[s]) return s;
+  // Fingerprint-probes bucket `b`, verifying candidates against the key.
+  size_t MatchInBucket(size_t b, uint8_t fp, NodeId key) const {
+    uint64_t mask = MatchByteMask(fps_.data() + b, cells_per_bucket_, fp);
+    while (mask != 0) {
+      const size_t s = b + static_cast<size_t>(__builtin_ctzll(mask));
+      if (cells_[s].CuckooKey() == key) return s;
+      mask &= mask - 1;
     }
+    return kNoSlot;
+  }
+
+  size_t FreeCellIn(size_t b1, size_t b2) const {
+    uint64_t mask = MatchByteMask(fps_.data() + b1, cells_per_bucket_, 0);
+    if (mask != 0) return b1 + static_cast<size_t>(__builtin_ctzll(mask));
     if (b2 != b1) {
-      for (size_t s = b2; s < b2 + cells_per_bucket_; ++s) {
-        if (!used_[s]) return s;
-      }
+      mask = MatchByteMask(fps_.data() + b2, cells_per_bucket_, 0);
+      if (mask != 0) return b2 + static_cast<size_t>(__builtin_ctzll(mask));
     }
     return kNoSlot;
   }
@@ -122,7 +147,9 @@ class CuckooTable {
   size_t num_buckets_;
   size_t cells_per_bucket_;
   std::vector<Item> cells_;
-  std::vector<uint8_t> used_;
+  // One fingerprint byte per cell (0 = empty), padded by kBytePadding so
+  // the vector probe may overread past the last bucket.
+  std::vector<uint8_t> fps_;
   size_t size_ = 0;
 };
 

@@ -11,6 +11,7 @@
 
 #include "analytics/common.h"
 #include "analytics/csr_snapshot.h"
+#include "baselines/hash_map_store.h"
 #include "baselines/store_factory.h"
 #include "common/rng.h"
 #include "common/types.h"
@@ -123,6 +124,64 @@ TEST(CsrSnapshotTest, InducedVariantKeepsListedNodesOnly) {
   EXPECT_EQ(snapshot.Degree(snapshot.ToDense(9)), 0u);
   const std::vector<Edge> expected{{1, 2}, {2, 3}, {3, 1}};
   EXPECT_EQ(SortedDistinct(snapshot.ExtractEdges()), SortedDistinct(expected));
+}
+
+// A store that violates the quiesced-snapshot contract: every walk
+// through the selected cursor method slips one more edge into the
+// backing store first, the way an un-quiesced concurrent writer would
+// land one between the builder's edge-count read and its cursor drain.
+// The full-store builder walks Nodes(), the induced builder walks
+// Neighbors() per listed node — `mutate_on` picks the injection point.
+class MutatingStoreStub final : public GraphStore {
+ public:
+  enum class MutateOn { kNodes, kNeighbors };
+
+  explicit MutatingStoreStub(MutateOn mutate_on) : mutate_on_(mutate_on) {}
+
+  std::string_view name() const override { return "mutating-stub"; }
+  bool InsertEdge(NodeId u, NodeId v) override {
+    return backing_.InsertEdge(u, v);
+  }
+  bool QueryEdge(NodeId u, NodeId v) const override {
+    return backing_.QueryEdge(u, v);
+  }
+  bool DeleteEdge(NodeId u, NodeId v) override {
+    return backing_.DeleteEdge(u, v);
+  }
+  std::unique_ptr<NeighborCursor> Neighbors(NodeId u) const override {
+    if (mutate_on_ == MutateOn::kNeighbors) SlipOneEdgeIn();
+    return backing_.Neighbors(u);
+  }
+  std::unique_ptr<NeighborCursor> Nodes() const override {
+    if (mutate_on_ == MutateOn::kNodes) SlipOneEdgeIn();
+    return backing_.Nodes();
+  }
+  size_t NumEdges() const override { return backing_.NumEdges(); }
+  size_t NumNodes() const override { return backing_.NumNodes(); }
+  size_t MemoryBytes() const override { return backing_.MemoryBytes(); }
+
+ private:
+  void SlipOneEdgeIn() const {
+    auto* self = const_cast<MutatingStoreStub*>(this);
+    self->backing_.InsertEdge(self->next_source_++, 7);
+  }
+
+  MutateOn mutate_on_;
+  baselines::HashMapStore backing_;
+  NodeId next_source_ = 100;
+};
+
+TEST(CsrSnapshotTest, FromStoreThrowsWhenStoreMutatesMidBuild) {
+  MutatingStoreStub store(MutatingStoreStub::MutateOn::kNodes);
+  store.InsertEdge(1, 2);
+  EXPECT_THROW(CsrSnapshot::FromStore(store), std::logic_error);
+}
+
+TEST(CsrSnapshotTest, InducedFromStoreThrowsWhenStoreMutatesMidBuild) {
+  MutatingStoreStub store(MutatingStoreStub::MutateOn::kNeighbors);
+  store.InsertEdge(1, 2);
+  const std::vector<NodeId> nodes{1, 2};
+  EXPECT_THROW(CsrSnapshot::FromStore(store, nodes), std::logic_error);
 }
 
 TEST(AnalyticsCommonTest, TopDegreeNodesBreaksTiesByAscendingId) {

@@ -225,11 +225,23 @@ TEST(StoreFactoryTest, MakesEveryRegisteredScheme) {
 }
 
 TEST(StoreFactoryTest, SchemeOrderIsThePapersColumnOrder) {
-  // The paper's comparison columns first, then the extended store.
-  const std::vector<std::string> expected{"CuckooGraph", "AdjacencyList",
-                                          "HashMap", "SortedVector",
-                                          "cuckoo-weighted"};
+  // The paper's comparison columns first, then the extended stores
+  // (weighted, then the concurrent sharded front-end).
+  const std::vector<std::string> expected{
+      "CuckooGraph", "AdjacencyList",   "HashMap",
+      "SortedVector", "cuckoo-weighted", "cuckoo-sharded"};
   EXPECT_EQ(AllSchemeNames(), expected);
+}
+
+TEST(StoreFactoryTest, ShardedSchemeAdvertisesConcurrency) {
+  EXPECT_TRUE(
+      MakeStoreByName("cuckoo-sharded")->Capabilities().concurrent_mutations);
+  // It is the only built-in that does.
+  for (const std::string& name : AllSchemeNames()) {
+    if (name == "cuckoo-sharded") continue;
+    EXPECT_FALSE(MakeStoreByName(name)->Capabilities().concurrent_mutations)
+        << name;
+  }
 }
 
 TEST(StoreFactoryTest, WeightedSchemeAdvertisesWeights) {
