@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -13,7 +14,7 @@ namespace {
 // Strict decimal uint32 parse (the full NodeId range, 0 and ~0u included).
 // No sign, no whitespace, no trailing junk — the same strings Redis's
 // string2ll would take, narrowed to the NodeId width.
-bool ParseNodeId(const std::string& s, NodeId* out) {
+bool ParseNodeId(std::string_view s, NodeId* out) {
   if (s.empty() || s.size() > 10) return false;
   uint64_t value = 0;
   for (const char c : s) {
@@ -29,54 +30,51 @@ const char kNotAnInteger[] = "ERR value is not an integer or out of range";
 
 }  // namespace
 
-void CuckooGraphModule::Register(RedisServerSim* server) {
-  CuckooGraph* graph = &graph_;
-
+void RegisterGraphCommands(CommandTable* table, GraphStore* store) {
   // The u-v commands share one parse-then-call shape.
-  const auto edge_command = [server, graph](const char* name,
-                                            bool (CuckooGraph::*op)(NodeId,
-                                                                    NodeId)) {
-    server->RegisterCommand(
-        name, 3, [graph, op](const std::vector<std::string>& argv) {
+  const auto edge_command = [table, store](const char* name,
+                                           bool (GraphStore::*op)(NodeId,
+                                                                  NodeId)) {
+    table->RegisterCommand(
+        name, 3, [store, op](Span<const std::string_view> argv) {
           NodeId u = 0, v = 0;
           if (!ParseNodeId(argv[1], &u) || !ParseNodeId(argv[2], &v)) {
             return RespValue::Error(kNotAnInteger);
           }
-          return RespValue::Integer((graph->*op)(u, v) ? 1 : 0);
+          return RespValue::Integer((store->*op)(u, v) ? 1 : 0);
         });
   };
-  edge_command("CG.INSERT", &CuckooGraph::InsertEdge);
-  edge_command("CG.DEL", &CuckooGraph::DeleteEdge);
-  edge_command("CG.DELETE", &CuckooGraph::DeleteEdge);
+  edge_command("CG.INSERT", &GraphStore::InsertEdge);
+  edge_command("CG.DEL", &GraphStore::DeleteEdge);
+  edge_command("CG.DELETE", &GraphStore::DeleteEdge);
 
   // QueryEdge is const, so it does not fit the mutating-op shape above.
-  server->RegisterCommand(
-      "CG.QUERY", 3, [graph](const std::vector<std::string>& argv) {
+  table->RegisterCommand(
+      "CG.QUERY", 3, [store](Span<const std::string_view> argv) {
         NodeId u = 0, v = 0;
         if (!ParseNodeId(argv[1], &u) || !ParseNodeId(argv[2], &v)) {
           return RespValue::Error(kNotAnInteger);
         }
-        return RespValue::Integer(graph->QueryEdge(u, v) ? 1 : 0);
+        return RespValue::Integer(store->QueryEdge(u, v) ? 1 : 0);
       });
 
-  server->RegisterCommand(
-      "CG.DEGREE", 2, [graph](const std::vector<std::string>& argv) {
+  table->RegisterCommand(
+      "CG.DEGREE", 2, [store](Span<const std::string_view> argv) {
         NodeId u = 0;
         if (!ParseNodeId(argv[1], &u)) {
           return RespValue::Error(kNotAnInteger);
         }
-        return RespValue::Integer(
-            static_cast<long long>(graph->OutDegree(u)));
+        return RespValue::Integer(static_cast<long long>(store->OutDegree(u)));
       });
 
-  server->RegisterCommand(
-      "CG.NEIGHBORS", 2, [graph](const std::vector<std::string>& argv) {
+  table->RegisterCommand(
+      "CG.NEIGHBORS", 2, [store](Span<const std::string_view> argv) {
         NodeId u = 0;
         if (!ParseNodeId(argv[1], &u)) {
           return RespValue::Error(kNotAnInteger);
         }
         std::vector<RespValue> elements;
-        graph->ForEachNeighbor(u, [&elements](NodeId v) {
+        store->ForEachNeighbor(u, [&elements](NodeId v) {
           elements.push_back(RespValue::Bulk(std::to_string(v)));
         });
         return RespValue::Array(std::move(elements));

@@ -1,85 +1,23 @@
 #include "redis_sim/module_host.h"
 
-#include <cctype>
 #include <stdexcept>
 #include <utility>
 
 namespace cuckoograph::redis_sim {
-namespace {
-
-std::string ToUpper(std::string_view s) {
-  std::string out(s);
-  for (char& c : out) {
-    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-  }
-  return out;
-}
-
-std::string ToLower(std::string_view s) {
-  std::string out(s);
-  for (char& c : out) {
-    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  }
-  return out;
-}
-
-}  // namespace
-
-bool RedisServerSim::RegisterCommand(std::string_view name, int arity,
-                                     CommandHandler handler) {
-  std::string key = ToUpper(name);
-  const auto [it, inserted] =
-      commands_.emplace(key, CommandEntry{arity, std::move(handler)});
-  (void)it;
-  if (inserted) registration_order_.push_back(std::move(key));
-  return inserted;
-}
-
-std::vector<std::string> RedisServerSim::CommandNames() const {
-  return registration_order_;
-}
-
-RespValue RedisServerSim::Dispatch(const std::vector<std::string>& argv) {
-  const auto it = commands_.find(ToUpper(argv[0]));
-  if (it == commands_.end()) {
-    return RespValue::Error("ERR unknown command '" + argv[0] + "'");
-  }
-  const CommandEntry& entry = it->second;
-  const int argc = static_cast<int>(argv.size());
-  const bool arity_ok = entry.arity >= 0 ? argc == entry.arity
-                                         : argc >= -entry.arity;
-  if (!arity_ok) {
-    return RespValue::Error("ERR wrong number of arguments for '" +
-                            ToLower(argv[0]) + "' command");
-  }
-  ++stats_.commands_dispatched;
-  return entry.handler(argv);
-}
 
 std::string RedisServerSim::Feed(std::string_view bytes) {
-  stats_.bytes_in += bytes.size();
-  buffer_.append(bytes.data(), bytes.size());
   std::string replies;
-  size_t pos = 0;
-  while (pos < buffer_.size()) {
-    const CommandParse parsed =
-        ParseCommand(std::string_view(buffer_).substr(pos));
-    if (parsed.status == ParseStatus::kIncomplete) break;
-    if (parsed.status == ParseStatus::kError) {
-      replies += Encode(RespValue::Error("ERR " + parsed.error));
-      ++stats_.error_replies;
-      pos = buffer_.size();  // drop the poisoned stream
-      break;
-    }
-    pos += parsed.consumed;
-    if (parsed.argv.empty()) continue;  // blank line / empty multibulk
-    const RespValue reply = Dispatch(parsed.argv);
-    if (reply.IsError()) ++stats_.error_replies;
-    replies += Encode(reply);
-  }
-  buffer_.erase(0, pos);
-  stats_.bytes_out += replies.size();
+  connection_.Feed(bytes, &replies);
   return replies;
+}
+
+const RedisServerSim::Stats& RedisServerSim::stats() const {
+  const RespConnection::Stats& conn = connection_.stats();
+  stats_.commands_dispatched = table_.commands_dispatched();
+  stats_.error_replies = conn.error_replies;
+  stats_.bytes_in = conn.bytes_in;
+  stats_.bytes_out = conn.bytes_out;
+  return stats_;
 }
 
 RespValue SimClient::Execute(const std::vector<std::string>& argv) {

@@ -1,72 +1,78 @@
-// The simulated Redis server a module registers commands into, and the
-// client that round-trips every call through serialized RESP bytes. The
-// pair stands in for a real Redis + redis-cli: modules see the same shape
-// as the RedisModule_CreateCommand API (name, arity, handler over argv),
-// and callers see only bytes — so Figure 17's measured cost includes
-// request encoding, request parsing, dispatch through a handler table,
-// reply encoding, and reply parsing on the way back out.
+// The in-process embedding API for the Redis-protocol front door: a
+// simulated server a module registers commands into, and the client that
+// round-trips every call through serialized RESP bytes. The pair stands
+// in for a real Redis + redis-cli: modules see the same shape as the
+// RedisModule_CreateCommand API (name, arity, handler over argv), and
+// callers see only bytes — so Figure 17's measured cost includes request
+// encoding, request parsing, dispatch through a handler table, reply
+// encoding, and reply parsing on the way back out.
+//
+// RedisServerSim is a thin wrapper over the transport-agnostic core in
+// command_table.h — one CommandTable plus one RespConnection — and is
+// the documented embedding API: link cuckoograph_redis_sim, register
+// commands, Feed bytes. The real TCP server (src/server/tcp_server.h)
+// instantiates the same CommandTable/RespConnection pair per socket, so
+// everything tested through this wrapper covers the served path's
+// dispatch and protocol logic for free.
 #ifndef CUCKOOGRAPH_REDIS_SIM_MODULE_HOST_H_
 #define CUCKOOGRAPH_REDIS_SIM_MODULE_HOST_H_
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "redis_sim/command_table.h"
 #include "redis_sim/resp.h"
 
 namespace cuckoograph::redis_sim {
 
 class RedisServerSim {
  public:
-  // A registered command body. `argv` is the full request (argv[0] is the
-  // command name as the client sent it); the returned value is encoded as
-  // the reply.
-  using CommandHandler =
-      std::function<RespValue(const std::vector<std::string>& argv)>;
+  // See CommandTable::CommandHandler: argv views are valid only for the
+  // duration of the call.
+  using CommandHandler = CommandTable::CommandHandler;
 
-  // Registers `name` (matched case-insensitively) with Redis arity
-  // semantics: a positive `arity` requires exactly that many argv entries
-  // (command name included); a negative `arity` requires at least
-  // |arity|. Returns false (keeping the existing entry) when the name is
-  // already taken.
+  RedisServerSim() : connection_(&table_) {}
+
+  // Registers `name` on the underlying CommandTable (case-insensitive,
+  // Redis arity semantics; false when the name is already taken).
   bool RegisterCommand(std::string_view name, int arity,
-                       CommandHandler handler);
+                       CommandHandler handler) {
+    return table_.RegisterCommand(name, arity, std::move(handler));
+  }
 
-  // Feeds request bytes into the connection and returns the reply bytes
-  // produced. Stateful like a socket: an incomplete trailing command is
-  // buffered until the next Feed completes it, and several pipelined
-  // commands in one Feed produce several back-to-back replies. A protocol
-  // error produces an error reply and discards the rest of the buffer
-  // (the sim's stand-in for Redis closing the connection).
+  // Feeds request bytes into the sim's single connection and returns the
+  // reply bytes produced. Stateful like a socket: an incomplete trailing
+  // command is buffered until the next Feed completes it, and several
+  // pipelined commands in one Feed produce several back-to-back replies.
+  // A protocol error produces an error reply and discards the rest of
+  // the buffer (the sim's stand-in for Redis closing the connection —
+  // unlike a real server the sim connection stays usable afterwards).
   std::string Feed(std::string_view bytes);
 
   struct Stats {
     uint64_t commands_dispatched = 0;  // handler invocations
-    uint64_t error_replies = 0;        // arity/unknown/protocol/handler errors
+    uint64_t error_replies = 0;  // arity/unknown/protocol/handler errors
     uint64_t bytes_in = 0;
     uint64_t bytes_out = 0;
   };
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const;
 
   // Registered command names (uppercased), in registration order.
-  std::vector<std::string> CommandNames() const;
+  std::vector<std::string> CommandNames() const {
+    return table_.CommandNames();
+  }
+
+  // The shared dispatch core, for wiring the same command set into other
+  // transports (the TCP server's constructor takes this pointer).
+  CommandTable* command_table() { return &table_; }
+  const CommandTable* command_table() const { return &table_; }
 
  private:
-  struct CommandEntry {
-    int arity = 0;
-    CommandHandler handler;
-  };
-
-  // Dispatches one parsed request and returns its reply value.
-  RespValue Dispatch(const std::vector<std::string>& argv);
-
-  std::unordered_map<std::string, CommandEntry> commands_;  // key: UPPERCASE
-  std::vector<std::string> registration_order_;
-  std::string buffer_;  // unconsumed request bytes between Feed calls
-  Stats stats_;
+  CommandTable table_;
+  RespConnection connection_;
+  mutable Stats stats_;  // assembled on demand in stats()
 };
 
 // A client endpoint for the simulated server. Every Execute serializes

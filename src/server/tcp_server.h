@@ -1,0 +1,137 @@
+// TcpRespServer: the real network service over the Redis-protocol front
+// door. An epoll-based nonblocking TCP server that speaks RESP2 and
+// dispatches every request into a shared CommandTable — the same
+// dispatch/protocol core the in-process RedisServerSim wraps, so the
+// served path adds only sockets, not a second protocol implementation.
+//
+// Threading model (see docs/ARCHITECTURE.md for the lifecycle diagram):
+//  - `num_workers` event-loop threads, each running its own epoll set.
+//    Worker 0 additionally owns the nonblocking listener; accepted
+//    connections are handed to workers round-robin through a per-worker
+//    inbox + eventfd wakeup.
+//  - A connection is pinned to one worker for its whole life, so its
+//    RespConnection parse state and write buffer are single-threaded by
+//    construction and per-connection reply order is request order (full
+//    pipelining, no reordering).
+//  - With num_workers == 1 the server is a classic single-threaded event
+//    loop and any handler target is safe. With num_workers > 1, workers
+//    dispatch into the shared CommandTable concurrently, so the handlers
+//    must target a thread-safe store (one advertising
+//    Capabilities().concurrent_mutations, e.g. cuckoo-sharded — its
+//    per-shard reader/writer locks are the only mutexes on the dispatch
+//    path; the server itself adds none around handlers).
+//
+// Per-connection I/O: reads drain the socket until EAGAIN and feed each
+// chunk to the connection's incremental RESP parser; replies accumulate
+// in a write buffer that is flushed opportunistically, with EPOLLOUT
+// armed only while a partial write is outstanding (slow clients block
+// only themselves). A protocol error answers -ERR and closes the
+// connection after the flush, like a real Redis.
+#ifndef CUCKOOGRAPH_SERVER_TCP_SERVER_H_
+#define CUCKOOGRAPH_SERVER_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "redis_sim/command_table.h"
+
+namespace cuckoograph::server {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;    // 0 = kernel-assigned; read the result via port()
+  int num_workers = 1;  // epoll event-loop threads (clamped to >= 1)
+  int backlog = 128;
+  bool tcp_nodelay = true;  // disable Nagle so pipelined replies flush
+};
+
+class TcpRespServer {
+ public:
+  // The table must outlive the server and be fully registered before
+  // Start (registration is not thread-safe against dispatch).
+  TcpRespServer(const ServerConfig& config,
+                const redis_sim::CommandTable* table);
+  ~TcpRespServer();  // implies Stop()
+
+  TcpRespServer(const TcpRespServer&) = delete;
+  TcpRespServer& operator=(const TcpRespServer&) = delete;
+
+  // Binds, listens and spawns the worker threads. Returns false (with a
+  // reason in *error when given) on socket setup failure.
+  bool Start(std::string* error = nullptr);
+
+  // Shuts the listener and every worker down and joins the threads.
+  // Open connections are closed without draining their write buffers.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // The bound port (resolves port 0), valid after a successful Start.
+  uint16_t port() const { return port_; }
+
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_closed = 0;
+    uint64_t protocol_errors = 0;  // connections dropped on framing errors
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+  };
+  Stats stats() const;
+
+ private:
+  // One client socket and everything pinned to its worker: protocol
+  // state, the outbound buffer, and the flush cursor.
+  struct Connection {
+    explicit Connection(int fd_in, const redis_sim::CommandTable* table)
+        : fd(fd_in), conn(table) {}
+    int fd = -1;
+    redis_sim::RespConnection conn;
+    std::string out;           // encoded replies not yet written
+    size_t out_pos = 0;        // bytes of `out` already written
+    bool close_after_flush = false;
+    bool writable_armed = false;  // EPOLLOUT currently requested
+  };
+
+  struct Worker {
+    int epoll_fd = -1;
+    int wake_fd = -1;  // eventfd: new-connection inbox + stop signal
+    std::thread thread;
+    std::mutex inbox_mu;
+    std::vector<int> inbox;  // accepted fds awaiting adoption
+    std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  };
+
+  void WorkerLoop(Worker* worker, bool owns_listener);
+  void AcceptPending();
+  void AdoptInbox(Worker* worker);
+  void HandleReadable(Worker* worker, Connection* connection);
+  // Writes as much of the out buffer as the socket takes; arms/disarms
+  // EPOLLOUT and closes when a drained connection asked for it.
+  void FlushWrites(Worker* worker, Connection* connection);
+  void CloseConnection(Worker* worker, Connection* connection);
+  void UpdateEpollInterest(Worker* worker, Connection* connection);
+
+  ServerConfig config_;
+  const redis_sim::CommandTable* table_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<size_t> next_worker_{0};  // round-robin accept target
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+};
+
+}  // namespace cuckoograph::server
+
+#endif  // CUCKOOGRAPH_SERVER_TCP_SERVER_H_

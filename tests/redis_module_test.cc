@@ -6,8 +6,10 @@
 
 #include <algorithm>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/span.h"
 #include "redis_sim/cuckoograph_module.h"
 #include "redis_sim/module_host.h"
 #include "redis_sim/resp.h"
@@ -139,7 +141,7 @@ TEST_F(CuckooGraphModuleTest, ServerStatsCountTraffic) {
 
 TEST(RedisServerSimTest, RegistrationRejectsDuplicatesCaseInsensitively) {
   RedisServerSim server;
-  const auto handler = [](const std::vector<std::string>&) {
+  const auto handler = [](Span<const std::string_view>) {
     return RespValue::Simple("OK");
   };
   EXPECT_TRUE(server.RegisterCommand("PING", -1, handler));
@@ -150,7 +152,7 @@ TEST(RedisServerSimTest, RegistrationRejectsDuplicatesCaseInsensitively) {
 TEST(RedisServerSimTest, NegativeArityMeansAtLeast) {
   RedisServerSim server;
   server.RegisterCommand("VARARG", -2,
-                         [](const std::vector<std::string>& argv) {
+                         [](Span<const std::string_view> argv) {
                            return RespValue::Integer(
                                static_cast<long long>(argv.size()));
                          });

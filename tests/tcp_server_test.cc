@@ -1,0 +1,213 @@
+// Loopback tests for the epoll TCP RESP server: single round trips,
+// pipelining, torn-frame (1-byte-at-a-time) slow clients, protocol-error
+// disconnects, and the concurrency smoke the sim cannot provide — four
+// client threads driving pipelined CG.INSERT/CG.QUERY against a sharded
+// store, every reply checked against a single-threaded oracle. These
+// suites run under the CI TSan job (see the -R filter in ci.yml).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/sharded_cuckoo_graph.h"
+#include "redis_sim/command_table.h"
+#include "redis_sim/cuckoograph_module.h"
+#include "server/resp_client.h"
+#include "server/tcp_server.h"
+
+namespace cuckoograph::server {
+namespace {
+
+using redis_sim::CommandTable;
+using redis_sim::RespType;
+using redis_sim::RespValue;
+
+class TcpRespServerTest : public ::testing::Test {
+ protected:
+  // Every test serves the CG.* family over a sharded (thread-safe) store
+  // from two worker loops, on an ephemeral loopback port.
+  void StartServer(int num_workers = 2) {
+    redis_sim::RegisterGraphCommands(&table_, &store_);
+    ServerConfig config;
+    config.num_workers = num_workers;
+    server_ = std::make_unique<TcpRespServer>(config, &table_);
+    std::string error;
+    ASSERT_TRUE(server_->Start(&error)) << error;
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  RespClient Connect() {
+    RespClient client;
+    std::string error;
+    EXPECT_TRUE(client.Connect("127.0.0.1", server_->port(), &error))
+        << error;
+    return client;
+  }
+
+  ShardedCuckooGraph store_;
+  CommandTable table_;
+  std::unique_ptr<TcpRespServer> server_;
+};
+
+TEST_F(TcpRespServerTest, SingleRoundTripOverLoopback) {
+  StartServer();
+  RespClient client = Connect();
+  EXPECT_EQ(client.Execute({"CG.INSERT", "1", "2"}).integer, 1);
+  EXPECT_EQ(client.Execute({"CG.INSERT", "1", "2"}).integer, 0);
+  EXPECT_EQ(client.Execute({"CG.QUERY", "1", "2"}).integer, 1);
+  EXPECT_EQ(client.Execute({"CG.DEL", "1", "2"}).integer, 1);
+  EXPECT_EQ(client.Execute({"CG.QUERY", "1", "2"}).integer, 0);
+  EXPECT_EQ(store_.NumEdges(), 0u);
+}
+
+TEST_F(TcpRespServerTest, ServerSideErrorsComeBackAsErrorReplies) {
+  StartServer();
+  RespClient client = Connect();
+  EXPECT_TRUE(client.Execute({"CG.NOPE"}).IsError());
+  EXPECT_TRUE(client.Execute({"CG.INSERT", "1"}).IsError());
+  EXPECT_TRUE(client.Execute({"CG.INSERT", "abc", "2"}).IsError());
+  // The connection survives command-level errors.
+  EXPECT_EQ(client.Execute({"CG.INSERT", "1", "2"}).integer, 1);
+}
+
+TEST_F(TcpRespServerTest, PipelinedBurstAnswersInOrder) {
+  StartServer();
+  RespClient client = Connect();
+  for (int i = 0; i < 100; ++i) {
+    client.Pipeline({"CG.INSERT", "7", std::to_string(i)});
+  }
+  client.Pipeline({"CG.DEGREE", "7"});
+  const std::vector<RespValue> replies = client.Flush();
+  ASSERT_EQ(replies.size(), 101u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(replies[static_cast<size_t>(i)].integer, 1) << i;
+  }
+  EXPECT_EQ(replies[100].integer, 100);
+}
+
+TEST_F(TcpRespServerTest, TornFramesFromASlowClientReassemble) {
+  StartServer();
+  RespClient client = Connect();
+  // Three pipelined requests written one byte at a time: the server must
+  // reassemble frames across arbitrarily small reads and answer all
+  // three, in order.
+  const std::string wire = redis_sim::EncodeCommand({"CG.INSERT", "3", "4"}) +
+                           redis_sim::EncodeCommand({"CG.QUERY", "3", "4"}) +
+                           redis_sim::EncodeCommand({"CG.QUERY", "9", "9"});
+  for (const char c : wire) {
+    ASSERT_TRUE(client.SendRaw(std::string_view(&c, 1)));
+  }
+  EXPECT_EQ(client.ReadReply().integer, 1);
+  EXPECT_EQ(client.ReadReply().integer, 1);
+  EXPECT_EQ(client.ReadReply().integer, 0);
+}
+
+TEST_F(TcpRespServerTest, InlineCommandsWorkOverTheSocket) {
+  StartServer();
+  RespClient client = Connect();
+  ASSERT_TRUE(client.SendRaw("CG.INSERT 5 6\r\n"));
+  EXPECT_EQ(client.ReadReply().integer, 1);
+  ASSERT_TRUE(client.SendRaw("CG.QUERY 5 6\r\n"));
+  EXPECT_EQ(client.ReadReply().integer, 1);
+}
+
+TEST_F(TcpRespServerTest, ProtocolErrorRepliesThenClosesTheConnection) {
+  StartServer();
+  RespClient bad = Connect();
+  ASSERT_TRUE(bad.SendRaw("*1\r\n:5\r\n"));
+  const RespValue reply = bad.ReadReply();
+  ASSERT_TRUE(reply.IsError());
+  EXPECT_NE(reply.text.find("Protocol error"), std::string::npos);
+  // Unlike the in-process sim, the server then drops the client.
+  EXPECT_THROW(bad.ReadReply(), std::runtime_error);
+
+  // Other connections are unaffected.
+  RespClient good = Connect();
+  EXPECT_EQ(good.Execute({"CG.INSERT", "1", "2"}).integer, 1);
+}
+
+TEST_F(TcpRespServerTest, FourThreadedPipelinedClientsMatchOracle) {
+  StartServer(/*num_workers=*/2);
+  constexpr int kClients = 4;
+  constexpr size_t kOpsPerClient = 2000;
+  constexpr size_t kPipelineDepth = 32;
+  constexpr NodeId kRange = 64;  // small: plenty of duplicate traffic
+
+  // Each client owns a private source range, so a sequential replay of
+  // its op stream is an exact oracle for every reply it receives, no
+  // matter how the other clients' commands interleave server-side.
+  std::vector<int> failures(kClients, 0);
+  std::vector<std::unordered_set<uint64_t>> oracles(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([this, c, &failures, &oracles] {
+      RespClient client = Connect();
+      SplitMix64 rng(77 + static_cast<uint64_t>(c));
+      std::unordered_set<uint64_t>& oracle = oracles[static_cast<size_t>(c)];
+      std::vector<long long> expected;
+      size_t in_flight = 0;
+      const auto check_flush = [&] {
+        const std::vector<RespValue> replies = client.Flush();
+        for (size_t i = 0; i < replies.size(); ++i) {
+          if (replies[i].type != RespType::kInteger ||
+              replies[i].integer != expected[i]) {
+            ++failures[static_cast<size_t>(c)];
+          }
+        }
+        expected.clear();
+        in_flight = 0;
+      };
+      for (size_t i = 0; i < kOpsPerClient; ++i) {
+        const NodeId u = static_cast<NodeId>(1000 + c) * 1000 +
+                         rng.NextBelow(kRange);
+        const NodeId v = rng.NextBelow(kRange);
+        const uint64_t kind = rng.NextBelow64(3);
+        const uint64_t key = EdgeKey(Edge{u, v});
+        if (kind == 0) {
+          client.Pipeline({"CG.QUERY", std::to_string(u), std::to_string(v)});
+          expected.push_back(oracle.count(key) != 0 ? 1 : 0);
+        } else if (kind == 1) {
+          client.Pipeline({"CG.DEL", std::to_string(u), std::to_string(v)});
+          expected.push_back(oracle.erase(key) != 0 ? 1 : 0);
+        } else {
+          client.Pipeline(
+              {"CG.INSERT", std::to_string(u), std::to_string(v)});
+          expected.push_back(oracle.insert(key).second ? 1 : 0);
+        }
+        if (++in_flight == kPipelineDepth) check_flush();
+      }
+      if (in_flight > 0) check_flush();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  size_t expected_edges = 0;
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[static_cast<size_t>(c)], 0)
+        << "client " << c << " saw replies diverge from its oracle";
+    expected_edges += oracles[static_cast<size_t>(c)].size();
+  }
+  EXPECT_EQ(store_.NumEdges(), expected_edges);
+  EXPECT_GE(server_->stats().connections_accepted, 4u);
+}
+
+TEST_F(TcpRespServerTest, StopWhileClientsAreConnectedShutsDownCleanly) {
+  StartServer();
+  RespClient client = Connect();
+  EXPECT_EQ(client.Execute({"CG.INSERT", "1", "2"}).integer, 1);
+  server_->Stop();
+  EXPECT_FALSE(server_->running());
+  // The dropped client notices on its next read.
+  EXPECT_THROW(client.Execute({"CG.QUERY", "1", "2"}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cuckoograph::server
