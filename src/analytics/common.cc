@@ -1,6 +1,7 @@
 #include "analytics/common.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <utility>
 
 namespace cuckoograph::analytics {
@@ -12,7 +13,9 @@ std::vector<NodeId> TopDegreeNodes(const CsrSnapshot& graph, size_t k) {
     degrees.emplace_back(graph.Degree(u), graph.ToOriginal(u));
   }
   const size_t take = std::min(k, degrees.size());
-  std::partial_sort(degrees.begin(), degrees.begin() + take, degrees.end(),
+  std::partial_sort(degrees.begin(),
+                    degrees.begin() + static_cast<std::ptrdiff_t>(take),
+                    degrees.end(),
                     [](const auto& a, const auto& b) {
                       return a.first != b.first ? a.first > b.first
                                                 : a.second < b.second;

@@ -1,0 +1,36 @@
+// Thread-safe errno formatting. The server layers report socket errors
+// through strings; std::strerror writes into static storage and is
+// flagged by concurrency-mt-unsafe (two workers failing at once can
+// tear each other's message), so everything goes through strerror_r
+// here. The overloaded adapter absorbs the two strerror_r signatures —
+// glibc's GNU variant returns the message pointer, the XSI variant
+// returns an int and fills the buffer — without a feature-test maze.
+#ifndef CUCKOOGRAPH_COMMON_ERRNO_STRING_H_
+#define CUCKOOGRAPH_COMMON_ERRNO_STRING_H_
+
+#include <string.h>
+
+#include <string>
+
+namespace cuckoograph {
+namespace internal {
+
+inline const char* StrErrorAdapt(const char* result, const char* /*buf*/) {
+  return result;  // GNU strerror_r: the message (not necessarily buf)
+}
+inline const char* StrErrorAdapt(int result, const char* buf) {
+  return result == 0 ? buf : "Unknown error";  // XSI strerror_r
+}
+
+}  // namespace internal
+
+// The message for `err` (an errno value), safe from any thread.
+inline std::string ErrnoString(int err) {
+  char buf[256];
+  buf[0] = '\0';
+  return internal::StrErrorAdapt(::strerror_r(err, buf, sizeof(buf)), buf);
+}
+
+}  // namespace cuckoograph
+
+#endif  // CUCKOOGRAPH_COMMON_ERRNO_STRING_H_

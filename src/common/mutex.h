@@ -1,0 +1,117 @@
+// Capability-annotated lock wrappers: the repo's std::mutex /
+// std::shared_mutex, carrying the Clang Thread Safety Analysis
+// attributes the standard-library types lack. Locked structures declare
+// their data CUCKOOGRAPH_GUARDED_BY(mu) against one of these types and
+// clang then rejects, at compile time, any access path that does not
+// hold the right capability (see docs/ARCHITECTURE.md, "Locking
+// discipline & annotations"; the negative-compile test under
+// tests/annotation_enforcement/ proves the rejection actually fires).
+//
+// The API is deliberately the Abseil shape — Lock/Unlock/ReaderLock and
+// RAII MutexLock / WriterMutexLock / ReaderMutexLock — because that is
+// the annotation discipline clang's analysis was built around.
+#ifndef CUCKOOGRAPH_COMMON_MUTEX_H_
+#define CUCKOOGRAPH_COMMON_MUTEX_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace cuckoograph {
+
+// An exclusive lock (std::mutex) the analysis can see.
+class CUCKOOGRAPH_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CUCKOOGRAPH_ACQUIRE() { mu_.lock(); }
+  bool TryLock() CUCKOOGRAPH_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Unlock() CUCKOOGRAPH_RELEASE() { mu_.unlock(); }
+
+  // Tells the analysis "this is held here" on paths it cannot follow
+  // (e.g. a callback invoked under a lock taken elsewhere). Purely a
+  // static assertion — no runtime check.
+  void AssertHeld() const CUCKOOGRAPH_ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::mutex mu_;
+};
+
+// A reader-writer lock (std::shared_mutex): Lock/Unlock are the
+// exclusive (writer) side, ReaderLock/ReaderUnlock the shared side.
+class CUCKOOGRAPH_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() CUCKOOGRAPH_ACQUIRE() { mu_.lock(); }
+  bool TryLock() CUCKOOGRAPH_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Unlock() CUCKOOGRAPH_RELEASE() { mu_.unlock(); }
+
+  void ReaderLock() CUCKOOGRAPH_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  bool ReaderTryLock() CUCKOOGRAPH_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+  void ReaderUnlock() CUCKOOGRAPH_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  void AssertHeld() const CUCKOOGRAPH_ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() const CUCKOOGRAPH_ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive hold of a Mutex for the enclosing scope.
+class CUCKOOGRAPH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) CUCKOOGRAPH_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~MutexLock() CUCKOOGRAPH_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// RAII exclusive (writer) hold of a SharedMutex.
+class CUCKOOGRAPH_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) CUCKOOGRAPH_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() CUCKOOGRAPH_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// RAII shared (reader) hold of a SharedMutex.
+class CUCKOOGRAPH_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) CUCKOOGRAPH_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderMutexLock() CUCKOOGRAPH_RELEASE() { mu_->ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+}  // namespace cuckoograph
+
+#endif  // CUCKOOGRAPH_COMMON_MUTEX_H_

@@ -1,8 +1,9 @@
 #include "core/sharded_cuckoo_graph.h"
 
 #include <algorithm>
-#include <mutex>
 #include <utility>
+
+#include "common/mutex.h"
 
 namespace cuckoograph {
 
@@ -51,31 +52,31 @@ ShardedCuckooGraph::~ShardedCuckooGraph() = default;
 
 bool ShardedCuckooGraph::InsertEdge(NodeId u, NodeId v) {
   Shard& shard = *shards_[ShardIndex(u)];
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  WriterMutexLock lock(&shard.mu);
   return shard.graph.InsertEdge(u, v);
 }
 
 bool ShardedCuckooGraph::QueryEdge(NodeId u, NodeId v) const {
   const Shard& shard = *shards_[ShardIndex(u)];
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  ReaderMutexLock lock(&shard.mu);
   return shard.graph.QueryEdge(u, v);
 }
 
 bool ShardedCuckooGraph::DeleteEdge(NodeId u, NodeId v) {
   Shard& shard = *shards_[ShardIndex(u)];
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  WriterMutexLock lock(&shard.mu);
   return shard.graph.DeleteEdge(u, v);
 }
 
 uint64_t ShardedCuckooGraph::EdgeWeight(NodeId u, NodeId v) const {
   const Shard& shard = *shards_[ShardIndex(u)];
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  ReaderMutexLock lock(&shard.mu);
   return shard.graph.EdgeWeight(u, v);
 }
 
 size_t ShardedCuckooGraph::OutDegree(NodeId u) const {
   const Shard& shard = *shards_[ShardIndex(u)];
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  ReaderMutexLock lock(&shard.mu);
   return shard.graph.OutDegree(u);
 }
 
@@ -98,11 +99,25 @@ void ShardedCuckooGraph::GroupByShard(Span<const Edge> edges, Fn fn) const {
   }
 }
 
+size_t ShardedCuckooGraph::InsertSlice(Shard& shard, Span<const Edge> part) {
+  return shard.graph.InsertEdges(part);
+}
+
+size_t ShardedCuckooGraph::QuerySlice(const Shard& shard,
+                                      Span<const Edge> part) {
+  return shard.graph.QueryEdges(part);
+}
+
+size_t ShardedCuckooGraph::DeleteSlice(Shard& shard, Span<const Edge> part) {
+  return shard.graph.DeleteEdges(part);
+}
+
 size_t ShardedCuckooGraph::InsertEdges(Span<const Edge> edges) {
   size_t fresh = 0;
   GroupByShard(edges, [this, &fresh](size_t s, Span<const Edge> part) {
-    std::unique_lock<std::shared_mutex> lock(shards_[s]->mu);
-    fresh += shards_[s]->graph.InsertEdges(part);
+    Shard& shard = *shards_[s];
+    WriterMutexLock lock(&shard.mu);
+    fresh += InsertSlice(shard, part);
   });
   return fresh;
 }
@@ -110,8 +125,9 @@ size_t ShardedCuckooGraph::InsertEdges(Span<const Edge> edges) {
 size_t ShardedCuckooGraph::QueryEdges(Span<const Edge> edges) const {
   size_t present = 0;
   GroupByShard(edges, [this, &present](size_t s, Span<const Edge> part) {
-    std::shared_lock<std::shared_mutex> lock(shards_[s]->mu);
-    present += shards_[s]->graph.QueryEdges(part);
+    const Shard& shard = *shards_[s];
+    ReaderMutexLock lock(&shard.mu);
+    present += QuerySlice(shard, part);
   });
   return present;
 }
@@ -119,8 +135,9 @@ size_t ShardedCuckooGraph::QueryEdges(Span<const Edge> edges) const {
 size_t ShardedCuckooGraph::DeleteEdges(Span<const Edge> edges) {
   size_t removed = 0;
   GroupByShard(edges, [this, &removed](size_t s, Span<const Edge> part) {
-    std::unique_lock<std::shared_mutex> lock(shards_[s]->mu);
-    removed += shards_[s]->graph.DeleteEdges(part);
+    Shard& shard = *shards_[s];
+    WriterMutexLock lock(&shard.mu);
+    removed += DeleteSlice(shard, part);
   });
   return removed;
 }
@@ -130,15 +147,16 @@ size_t ShardedCuckooGraph::DeleteEdges(Span<const Edge> edges) {
 std::unique_ptr<NeighborCursor> ShardedCuckooGraph::Neighbors(
     NodeId u) const {
   const Shard& shard = *shards_[ShardIndex(u)];
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  ReaderMutexLock lock(&shard.mu);
   return shard.graph.Neighbors(u);
 }
 
 std::unique_ptr<NeighborCursor> ShardedCuckooGraph::Nodes() const {
   std::vector<NodeId> ids;
-  for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
-    shard->graph.ForEachNode([&ids](NodeId u) { ids.push_back(u); });
+  for (const auto& entry : shards_) {
+    const Shard& shard = *entry;
+    ReaderMutexLock lock(&shard.mu);
+    shard.graph.ForEachNode([&ids](NodeId u) { ids.push_back(u); });
   }
   return std::make_unique<VectorCursor>(std::move(ids));
 }
@@ -147,9 +165,10 @@ std::unique_ptr<NeighborCursor> ShardedCuckooGraph::Nodes() const {
 
 size_t ShardedCuckooGraph::NumEdges() const {
   size_t edges = 0;
-  for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
-    edges += shard->graph.NumEdges();
+  for (const auto& entry : shards_) {
+    const Shard& shard = *entry;
+    ReaderMutexLock lock(&shard.mu);
+    edges += shard.graph.NumEdges();
   }
   return edges;
 }
@@ -157,28 +176,30 @@ size_t ShardedCuckooGraph::NumEdges() const {
 size_t ShardedCuckooGraph::NumNodes() const {
   // Shards partition by source vertex, so no vertex is counted twice.
   size_t nodes = 0;
-  for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
-    nodes += shard->graph.NumNodes();
+  for (const auto& entry : shards_) {
+    const Shard& shard = *entry;
+    ReaderMutexLock lock(&shard.mu);
+    nodes += shard.graph.NumNodes();
   }
   return nodes;
 }
 
 size_t ShardedCuckooGraph::MemoryBytes() const {
   size_t bytes = sizeof(*this) + shards_.capacity() * sizeof(shards_[0]);
-  for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
-    bytes += sizeof(Shard) - sizeof(CuckooGraph) +
-             shard->graph.MemoryBytes();
+  for (const auto& entry : shards_) {
+    const Shard& shard = *entry;
+    ReaderMutexLock lock(&shard.mu);
+    bytes += sizeof(Shard) - sizeof(CuckooGraph) + shard.graph.MemoryBytes();
   }
   return bytes;
 }
 
 GraphStats ShardedCuckooGraph::stats() const {
   GraphStats total;
-  for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
-    const GraphStats st = shard->graph.stats();
+  for (const auto& entry : shards_) {
+    const Shard& shard = *entry;
+    ReaderMutexLock lock(&shard.mu);
+    const GraphStats st = shard.graph.stats();
     AddTableStats(&total.l, st.l);
     AddTableStats(&total.s, st.s);
     total.num_chains += st.num_chains;

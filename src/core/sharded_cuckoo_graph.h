@@ -20,17 +20,24 @@
 //    them, so Neighbors()/Nodes() require a quiesced store while drained.
 //    Nodes() materializes its id list under the locks, Neighbors(u) leases
 //    the shard's in-place cursor.
+//
+// The discipline is machine-checked: each shard's CuckooGraph is
+// CUCKOOGRAPH_GUARDED_BY its stripe lock, so any access path that does
+// not hold the lock (shared for reads, exclusive for writes) is a
+// compile error under clang's -Wthread-safety (the static-analysis CI
+// job builds with it as -Werror).
 #ifndef CUCKOOGRAPH_CORE_SHARDED_CUCKOO_GRAPH_H_
 #define CUCKOOGRAPH_CORE_SHARDED_CUCKOO_GRAPH_H_
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/span.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "core/config.h"
 #include "core/cuckoo_graph.h"
@@ -85,12 +92,24 @@ class ShardedCuckooGraph : public GraphStore {
 
  private:
   // A shard: one core structure plus its stripe lock, cache-line aligned
-  // so neighbouring shards' lock words never share a line.
+  // so neighbouring shards' lock words never share a line. The core
+  // structure is not thread-safe on its own, so it is guarded as a whole
+  // by the stripe lock.
   struct alignas(64) Shard {
     explicit Shard(const Config& config) : graph(config) {}
-    mutable std::shared_mutex mu;
-    CuckooGraph graph;
+    mutable SharedMutex mu;
+    CuckooGraph graph CUCKOOGRAPH_GUARDED_BY(mu);
   };
+
+  // Per-shard slices of the batch ops: the caller owns the shard lock
+  // (exclusively for mutations, shared for queries) and the analysis
+  // verifies it at every call site.
+  static size_t InsertSlice(Shard& shard, Span<const Edge> part)
+      CUCKOOGRAPH_REQUIRES(shard.mu);
+  static size_t QuerySlice(const Shard& shard, Span<const Edge> part)
+      CUCKOOGRAPH_REQUIRES_SHARED(shard.mu);
+  static size_t DeleteSlice(Shard& shard, Span<const Edge> part)
+      CUCKOOGRAPH_REQUIRES(shard.mu);
 
   size_t ShardIndex(NodeId u) const {
     // Fibonacci multiply-shift so consecutive source ids spread across

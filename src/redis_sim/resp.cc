@@ -95,16 +95,16 @@ ParseResult ParseBulk(std::string_view bytes, size_t pos, size_t* end) {
     return result;
   }
   const size_t payload = crlf + 2;
-  if (payload + static_cast<size_t>(len) + 2 > bytes.size()) {
+  const size_t body = static_cast<size_t>(len);  // len >= 0 checked above
+  if (payload + body + 2 > bytes.size()) {
     return ParseResult{};
   }
-  if (bytes[payload + len] != '\r' || bytes[payload + len + 1] != '\n') {
+  if (bytes[payload + body] != '\r' || bytes[payload + body + 1] != '\n') {
     return ProtocolError("Protocol error: bulk string not CRLF-terminated");
   }
   result.status = ParseStatus::kOk;
-  result.value =
-      RespValue::Bulk(std::string(bytes.substr(payload, len)));
-  *end = payload + len + 2;
+  result.value = RespValue::Bulk(std::string(bytes.substr(payload, body)));
+  *end = payload + body + 2;
   return result;
 }
 

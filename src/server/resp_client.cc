@@ -7,9 +7,10 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <stdexcept>
 #include <utility>
+
+#include "common/errno_string.h"
 
 namespace cuckoograph::server {
 namespace {
@@ -51,7 +52,7 @@ bool RespClient::Connect(const std::string& host, uint16_t port,
   };
   Close();
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) return fail(std::string("socket: ") + std::strerror(errno));
+  if (fd_ < 0) return fail(std::string("socket: ") + ErrnoString(errno));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -59,7 +60,7 @@ bool RespClient::Connect(const std::string& host, uint16_t port,
     return fail("invalid address '" + host + "'");
   }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    return fail(std::string("connect: ") + std::strerror(errno));
+    return fail(std::string("connect: ") + ErrnoString(errno));
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -138,7 +139,7 @@ redis_sim::RespValue RespClient::ReadReply() {
     if (n < 0 && errno == EINTR) continue;
     throw std::runtime_error(
         n == 0 ? "RespClient: connection closed by server"
-               : std::string("RespClient: recv: ") + std::strerror(errno));
+               : std::string("RespClient: recv: ") + ErrnoString(errno));
   }
 }
 

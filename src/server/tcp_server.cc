@@ -9,8 +9,9 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <utility>
+
+#include "common/errno_string.h"
 
 namespace cuckoograph::server {
 namespace {
@@ -19,7 +20,7 @@ constexpr int kMaxEpollEvents = 64;
 constexpr size_t kReadChunk = 16 * 1024;
 
 std::string Errno(const char* what) {
-  return std::string(what) + ": " + std::strerror(errno);
+  return std::string(what) + ": " + ErrnoString(errno);
 }
 
 }  // namespace
@@ -119,8 +120,15 @@ void TcpRespServer::Stop() {
       closed_.fetch_add(1, std::memory_order_relaxed);
     }
     worker->conns.clear();
-    for (const int fd : worker->inbox) ::close(fd);
-    worker->inbox.clear();
+    {
+      // The worker threads are joined (or were never started on a
+      // failed Start), but the acceptor in another still-running
+      // server instance is not a thing we need to reason about — take
+      // the lock and let the analysis prove every inbox access.
+      MutexLock lock(&worker->inbox_mu);
+      for (const int fd : worker->inbox) ::close(fd);
+      worker->inbox.clear();
+    }
     if (worker->wake_fd >= 0) ::close(worker->wake_fd);
     if (worker->epoll_fd >= 0) ::close(worker->epoll_fd);
   }
@@ -198,13 +206,13 @@ void TcpRespServer::AcceptPending() {
     if (target == 0) {
       // The acceptor is worker 0's loop; adopt without the inbox hop.
       {
-        std::lock_guard<std::mutex> lock(worker->inbox_mu);
+        MutexLock lock(&worker->inbox_mu);
         worker->inbox.push_back(fd);
       }
       AdoptInbox(worker);
     } else {
       {
-        std::lock_guard<std::mutex> lock(worker->inbox_mu);
+        MutexLock lock(&worker->inbox_mu);
         worker->inbox.push_back(fd);
       }
       const uint64_t one = 1;
@@ -217,7 +225,7 @@ void TcpRespServer::AcceptPending() {
 void TcpRespServer::AdoptInbox(Worker* worker) {
   std::vector<int> adopted;
   {
-    std::lock_guard<std::mutex> lock(worker->inbox_mu);
+    MutexLock lock(&worker->inbox_mu);
     adopted.swap(worker->inbox);
   }
   for (const int fd : adopted) {

@@ -33,12 +33,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "redis_sim/command_table.h"
 
 namespace cuckoograph::server {
@@ -98,12 +99,19 @@ class TcpRespServer {
     bool writable_armed = false;  // EPOLLOUT currently requested
   };
 
+  // Cross-thread state is annotated; everything else in a Worker is
+  // touched only by its own event-loop thread (plus Stop after the
+  // join), which no mutex can express — the pinning is the invariant.
   struct Worker {
     int epoll_fd = -1;
     int wake_fd = -1;  // eventfd: new-connection inbox + stop signal
     std::thread thread;
-    std::mutex inbox_mu;
-    std::vector<int> inbox;  // accepted fds awaiting adoption
+    // The accept → worker handoff: the acceptor pushes under the lock,
+    // the owning worker swaps the vector out under it (AdoptInbox).
+    Mutex inbox_mu;
+    std::vector<int> inbox CUCKOOGRAPH_GUARDED_BY(inbox_mu);
+    // Worker-thread-confined: created/erased/read only on the owning
+    // event loop (Stop touches it only after joining the thread).
     std::unordered_map<int, std::unique_ptr<Connection>> conns;
   };
 

@@ -1,0 +1,59 @@
+// The positive probe: every annotated wrapper in common/mutex.h used
+// the way the codebase uses them. This must compile cleanly under
+// -Wthread-safety -Werror, proving the negative probe's rejection
+// (unlocked_read_rejected.cc) comes from the analysis seeing the
+// annotations, not from the harness being broken.
+#include <cstddef>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  cuckoograph::Mutex mu;
+  int value CUCKOOGRAPH_GUARDED_BY(mu) = 0;
+};
+
+struct Table {
+  mutable cuckoograph::SharedMutex mu;
+  std::size_t entries CUCKOOGRAPH_GUARDED_BY(mu) = 0;
+};
+
+// The REQUIRES discipline used by ShardedCuckooGraph's batch helpers:
+// the caller owns the lock, the callee's contract is checked statically.
+std::size_t EntriesLocked(const Table& table)
+    CUCKOOGRAPH_REQUIRES_SHARED(table.mu) {
+  return table.entries;
+}
+
+void AddEntriesLocked(Table& table, std::size_t n)
+    CUCKOOGRAPH_REQUIRES(table.mu) {
+  table.entries += n;
+}
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  {
+    cuckoograph::MutexLock lock(&counter.mu);
+    ++counter.value;
+  }
+
+  Table table;
+  {
+    cuckoograph::WriterMutexLock lock(&table.mu);
+    AddEntriesLocked(table, 2);
+  }
+  std::size_t seen = 0;
+  {
+    cuckoograph::ReaderMutexLock lock(&table.mu);
+    seen = EntriesLocked(table);
+  }
+
+  {
+    cuckoograph::MutexLock relock(&counter.mu);
+    return counter.value + static_cast<int>(seen) - 3;  // exits 0
+  }
+}

@@ -1,0 +1,19 @@
+// The negative probe: reads a CUCKOOGRAPH_GUARDED_BY field without
+// holding its lock. Under -Wthread-safety -Werror this must NOT
+// compile — the enclosing CMake project fails the ctest if it does.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  cuckoograph::Mutex mu;
+  int value CUCKOOGRAPH_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.value;  // seeded lock misuse: no MutexLock held
+}

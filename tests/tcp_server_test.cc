@@ -199,6 +199,21 @@ TEST_F(TcpRespServerTest, FourThreadedPipelinedClientsMatchOracle) {
   EXPECT_GE(server_->stats().connections_accepted, 4u);
 }
 
+TEST_F(TcpRespServerTest, BindFailureReportsAReadableErrnoMessage) {
+  StartServer();
+  // A second server on the same port must fail to bind, and the error
+  // must carry the failing syscall plus a real message (the thread-safe
+  // ErrnoString path — e.g. "bind: Address already in use"), not an
+  // empty or garbage string.
+  ServerConfig config;
+  config.port = server_->port();
+  TcpRespServer second(config, &table_);
+  std::string error;
+  EXPECT_FALSE(second.Start(&error));
+  EXPECT_NE(error.find("bind: "), std::string::npos) << error;
+  EXPECT_GT(error.size(), std::string("bind: ").size()) << error;
+}
+
 TEST_F(TcpRespServerTest, StopWhileClientsAreConnectedShutsDownCleanly) {
   StartServer();
   RespClient client = Connect();
