@@ -194,6 +194,152 @@ std::string FmtX(double x) {
   return buffer;
 }
 
+// ---- Read-path scaling: stripe-locked vs optimistic (seqlock) reads ----
+//
+// The same loaded store is swept twice per thread count — once with
+// Config::optimistic_reads off (every read takes the shard's reader
+// lock) and once with it on (seqlock-validated lock-free probes) — over
+// two phases:
+//  - query-only: every thread walks the whole stream (all hits) with no
+//    writer anywhere, so optimistic validation succeeds first try and
+//    the gap between the rows is pure locking overhead;
+//  - read-mostly (95/5): each thread interleaves 19 point queries with
+//    one insert-or-delete in a thread-private source range, so readers
+//    race real seqlock writers on shared shards. A single-threaded
+//    replay of each thread's mutation stream is the oracle for the
+//    final edge count, and every query targets a loaded stream edge
+//    (the churn sources are disjoint), so every probe must hit.
+
+constexpr NodeId kReadChurnBase = 0x60000000;  // disjoint from the rest
+constexpr size_t kReadMostlyOpsPerThread = 1 << 15;
+
+size_t ReadMostlyOracleEdges(int threads) {
+  size_t total = 0;
+  for (int t = 0; t < threads; ++t) {
+    SplitMix64 rng(4400 + static_cast<uint64_t>(t));
+    std::unordered_set<uint64_t> live;
+    for (size_t i = 0; i < kReadMostlyOpsPerThread; ++i) {
+      if (i % 20 == 19) {
+        const NodeId u = kReadChurnBase +
+                         static_cast<NodeId>(t) * 10 * kChurnRange +
+                         rng.NextBelow(kChurnRange);
+        const NodeId v = rng.NextBelow(256);
+        if (rng.NextBelow64(2) == 0) {
+          live.insert(EdgeKey(Edge{u, v}));
+        } else {
+          live.erase(EdgeKey(Edge{u, v}));
+        }
+      } else {
+        rng.NextBelow64(1);  // the query's index draw, replayed exactly
+      }
+    }
+    total += live.size();
+  }
+  return total;
+}
+
+struct ReadScaleResult {
+  double query_mops = 0;
+  double read_mostly_mops = 0;
+  bool ok = true;
+};
+
+ReadScaleResult RunReadScaling(const Config& base, bool optimistic,
+                               const std::vector<Edge>& stream,
+                               size_t distinct, int threads) {
+  Config config = base;
+  config.optimistic_reads = optimistic;
+  ShardedCuckooGraph store(config);
+  for (const Edge& e : stream) store.InsertEdge(e.u, e.v);
+
+  ReadScaleResult result;
+  const size_t n = stream.size();
+  const char* mode = optimistic ? "optimistic" : "locked";
+  if (store.NumEdges() != distinct) {
+    std::fprintf(stderr, "FAIL: %s/%d load left %zu edges, expected %zu\n",
+                 mode, threads, store.NumEdges(), distinct);
+    result.ok = false;
+  }
+
+  // Phase 1: query-only (each thread walks the whole stream, offset so
+  // the threads do not probe the same shard in lockstep).
+  std::atomic<size_t> found{0};
+  const double query_s = TimePhase(threads, [&](int t) {
+    const size_t start =
+        (n / static_cast<size_t>(threads)) * static_cast<size_t>(t);
+    size_t hits = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t j = start + i;
+      const Edge& e = stream[j < n ? j : j - n];
+      hits += store.QueryEdge(e.u, e.v) ? 1 : 0;
+    }
+    found += hits;
+  });
+  result.query_mops = Mops(n * static_cast<size_t>(threads), query_s);
+  if (found.load() != n * static_cast<size_t>(threads)) {
+    std::fprintf(stderr,
+                 "FAIL: %s/%d query-only found %zu of %zu probes\n", mode,
+                 threads, found.load(), n * static_cast<size_t>(threads));
+    result.ok = false;
+  }
+  // The knob must decide which path actually served the reads: with no
+  // writer racing, optimistic mode validates first try every time.
+  const auto rp = store.read_path_stats();
+  if (optimistic ? rp.optimistic == 0 : rp.optimistic != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %s/%d read-path stats disagree with the knob "
+                 "(optimistic=%llu locked=%llu)\n",
+                 mode, threads,
+                 static_cast<unsigned long long>(rp.optimistic),
+                 static_cast<unsigned long long>(rp.locked));
+    result.ok = false;
+  }
+
+  // Phase 2: 95/5 read-mostly mix.
+  std::atomic<size_t> issued{0};
+  std::atomic<size_t> hit{0};
+  const double mixed_s = TimePhase(threads, [&](int t) {
+    SplitMix64 rng(4400 + static_cast<uint64_t>(t));
+    const NodeId churn_base =
+        kReadChurnBase + static_cast<NodeId>(t) * 10 * kChurnRange;
+    size_t queries = 0;
+    size_t hits = 0;
+    for (size_t i = 0; i < kReadMostlyOpsPerThread; ++i) {
+      if (i % 20 == 19) {
+        const NodeId u = churn_base + rng.NextBelow(kChurnRange);
+        const NodeId v = rng.NextBelow(256);
+        if (rng.NextBelow64(2) == 0) {
+          store.InsertEdge(u, v);
+        } else {
+          store.DeleteEdge(u, v);
+        }
+      } else {
+        const Edge& e = stream[rng.NextBelow64(n)];
+        ++queries;
+        hits += store.QueryEdge(e.u, e.v) ? 1 : 0;
+      }
+    }
+    issued += queries;
+    hit += hits;
+  });
+  result.read_mostly_mops = Mops(
+      kReadMostlyOpsPerThread * static_cast<size_t>(threads), mixed_s);
+  if (hit.load() != issued.load()) {
+    std::fprintf(stderr,
+                 "FAIL: %s/%d read-mostly hit %zu of %zu pinned probes\n",
+                 mode, threads, hit.load(), issued.load());
+    result.ok = false;
+  }
+  const size_t expected = distinct + ReadMostlyOracleEdges(threads);
+  if (store.NumEdges() != expected) {
+    std::fprintf(stderr,
+                 "FAIL: %s/%d read-mostly left %zu edges, expected %zu\n",
+                 mode, threads, store.NumEdges(), expected);
+    result.ok = false;
+  }
+  return result;
+}
+
 }  // namespace
 }  // namespace cuckoograph
 
@@ -258,6 +404,34 @@ int main(int argc, char** argv) {
       const SweepResult rl = RunSweep(last, stream, distinct, max_threads);
       report("cuckoo-sharded/" + std::to_string(max_threads), rl,
              sharded_1t_agg);
+      break;
+    }
+  }
+
+  // Read-path scaling: two rows per thread count — optimistic_reads off
+  // (stripe-locked reads) vs on (seqlock + epoch lock-free reads).
+  bench::PrintHeader(
+      "read-scaling",
+      "Read-path sweep, aggregate Mops: stripe-locked vs optimistic "
+      "(seqlock+epoch) reads",
+      {"query-only", "read-mostly(95/5)"});
+  const auto read_scale_row = [&](int threads) {
+    for (const bool optimistic : {false, true}) {
+      const ReadScaleResult r =
+          RunReadScaling(config, optimistic, stream, distinct, threads);
+      bench::PrintRow(
+          "read-scaling",
+          {std::string(optimistic ? "optimistic/" : "locked/") +
+               std::to_string(threads),
+           bench::FmtMops(r.query_mops),
+           bench::FmtMops(r.read_mostly_mops)});
+      ok = ok && r.ok;
+    }
+  };
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    read_scale_row(threads);
+    if (threads < max_threads && threads * 2 > max_threads) {
+      read_scale_row(max_threads);  // keep the non-power-of-two ceiling
       break;
     }
   }

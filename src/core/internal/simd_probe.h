@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 #if !defined(CUCKOOGRAPH_SCALAR_PROBE)
@@ -51,7 +52,7 @@ inline constexpr uint64_t LowBits(size_t count) {
 
 // ---- Always-compiled scalar reference paths --------------------------------
 
-inline uint64_t MatchByteMaskScalar(const uint8_t* bytes, size_t count,
+CUCKOOGRAPH_ALWAYS_INLINE uint64_t MatchByteMaskScalar(const uint8_t* bytes, size_t count,
                                     uint8_t needle) {
   uint64_t mask = 0;
   for (size_t i = 0; i < count; ++i) {
@@ -60,7 +61,7 @@ inline uint64_t MatchByteMaskScalar(const uint8_t* bytes, size_t count,
   return mask;
 }
 
-inline uint32_t MatchKeyMaskScalar(const NodeId* keys, size_t count,
+CUCKOOGRAPH_ALWAYS_INLINE uint32_t MatchKeyMaskScalar(const NodeId* keys, size_t count,
                                    NodeId needle) {
   uint32_t mask = 0;
   for (size_t i = 0; i < count; ++i) {
@@ -76,7 +77,7 @@ inline uint32_t MatchKeyMaskScalar(const NodeId* keys, size_t count,
 inline const char* ProbeBackendName() { return "sse2"; }
 
 // Bitmask of bytes[i] == needle over i in [0, count), count <= 64.
-inline uint64_t MatchByteMask(const uint8_t* bytes, size_t count,
+CUCKOOGRAPH_ALWAYS_INLINE uint64_t MatchByteMask(const uint8_t* bytes, size_t count,
                               uint8_t needle) {
   const __m128i splat = _mm_set1_epi8(static_cast<char>(needle));
   uint64_t mask = 0;
@@ -91,7 +92,7 @@ inline uint64_t MatchByteMask(const uint8_t* bytes, size_t count,
 }
 
 // Bitmask of keys[i] == needle over i in [0, count), count <= kKeyLanes.
-inline uint32_t MatchKeyMask(const NodeId* keys, size_t count,
+CUCKOOGRAPH_ALWAYS_INLINE uint32_t MatchKeyMask(const NodeId* keys, size_t count,
                              NodeId needle) {
   const __m128i splat = _mm_set1_epi32(static_cast<int>(needle));
   const __m128i lo =
@@ -109,7 +110,7 @@ inline uint32_t MatchKeyMask(const NodeId* keys, size_t count,
 
 inline const char* ProbeBackendName() { return "neon"; }
 
-inline uint64_t MatchByteMask(const uint8_t* bytes, size_t count,
+CUCKOOGRAPH_ALWAYS_INLINE uint64_t MatchByteMask(const uint8_t* bytes, size_t count,
                               uint8_t needle) {
   static const uint8_t kBitsPerLane[16] = {1, 2, 4, 8, 16, 32, 64, 128,
                                            1, 2, 4, 8, 16, 32, 64, 128};
@@ -126,7 +127,7 @@ inline uint64_t MatchByteMask(const uint8_t* bytes, size_t count,
   return mask & LowBits(count);
 }
 
-inline uint32_t MatchKeyMask(const NodeId* keys, size_t count,
+CUCKOOGRAPH_ALWAYS_INLINE uint32_t MatchKeyMask(const NodeId* keys, size_t count,
                              NodeId needle) {
   static const uint32_t kBitsPerLane[4] = {1, 2, 4, 8};
   const uint32x4_t splat = vdupq_n_u32(needle);
@@ -143,12 +144,12 @@ inline uint32_t MatchKeyMask(const NodeId* keys, size_t count,
 
 inline const char* ProbeBackendName() { return "scalar"; }
 
-inline uint64_t MatchByteMask(const uint8_t* bytes, size_t count,
+CUCKOOGRAPH_ALWAYS_INLINE uint64_t MatchByteMask(const uint8_t* bytes, size_t count,
                               uint8_t needle) {
   return MatchByteMaskScalar(bytes, count, needle);
 }
 
-inline uint32_t MatchKeyMask(const NodeId* keys, size_t count,
+CUCKOOGRAPH_ALWAYS_INLINE uint32_t MatchKeyMask(const NodeId* keys, size_t count,
                              NodeId needle) {
   return MatchKeyMaskScalar(keys, count, needle);
 }

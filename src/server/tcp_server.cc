@@ -6,6 +6,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -18,6 +19,10 @@ namespace {
 
 constexpr int kMaxEpollEvents = 64;
 constexpr size_t kReadChunk = 16 * 1024;
+// Pending reply buffers gathered into one sendmsg call. Well under
+// IOV_MAX (1024 on Linux); deeper queues just take another iteration of
+// the flush loop.
+constexpr size_t kMaxFlushIovecs = 64;
 
 std::string Errno(const char* what) {
   return std::string(what) + ": " + ErrnoString(errno);
@@ -250,9 +255,15 @@ void TcpRespServer::HandleReadable(Worker* worker, Connection* connection) {
     if (n > 0) {
       bytes_in_.fetch_add(static_cast<uint64_t>(n),
                           std::memory_order_relaxed);
+      std::string replies;
       const bool clean = connection->conn.Feed(
-          std::string_view(buffer, static_cast<size_t>(n)),
-          &connection->out);
+          std::string_view(buffer, static_cast<size_t>(n)), &replies);
+      if (!replies.empty()) {
+        // One queue entry per parsed chunk: a pipelined burst's replies
+        // already share this buffer, and the flush path gathers the
+        // whole queue into a single sendmsg anyway.
+        connection->out.push_back(std::move(replies));
+      }
       if (!clean) {
         // Framing error: the -ERR reply is queued; drop the client after
         // the flush, as a real Redis does.
@@ -273,7 +284,7 @@ void TcpRespServer::HandleReadable(Worker* worker, Connection* connection) {
   }
   if (eof || connection->close_after_flush) {
     connection->close_after_flush = true;
-    if (connection->out_pos >= connection->out.size()) {
+    if (!HasPendingWrites(*connection)) {
       CloseConnection(worker, connection);
       return;
     }
@@ -286,15 +297,42 @@ void TcpRespServer::HandleReadable(Worker* worker, Connection* connection) {
 }
 
 void TcpRespServer::FlushWrites(Worker* worker, Connection* connection) {
-  while (connection->out_pos < connection->out.size()) {
-    const ssize_t n = ::send(connection->fd,
-                             connection->out.data() + connection->out_pos,
-                             connection->out.size() - connection->out_pos,
-                             MSG_NOSIGNAL);
+  while (HasPendingWrites(*connection)) {
+    // Gather every pending reply buffer (the front one offset by the
+    // partial-write cursor) into a single scatter/gather syscall —
+    // sendmsg rather than writev so MSG_NOSIGNAL still applies.
+    iovec iov[kMaxFlushIovecs];
+    size_t iov_count = 0;
+    size_t offset = connection->out_pos;
+    for (const std::string& pending : connection->out) {
+      if (iov_count == kMaxFlushIovecs) break;
+      iov[iov_count].iov_base =
+          const_cast<char*>(pending.data()) + offset;
+      iov[iov_count].iov_len = pending.size() - offset;
+      ++iov_count;
+      offset = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iov_count;
+    const ssize_t n = ::sendmsg(connection->fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
       bytes_out_.fetch_add(static_cast<uint64_t>(n),
                            std::memory_order_relaxed);
-      connection->out_pos += static_cast<size_t>(n);
+      // Retire fully written buffers; a short write leaves the cursor
+      // mid-buffer for the next pass.
+      size_t written = static_cast<size_t>(n);
+      while (written > 0) {
+        std::string& front = connection->out.front();
+        const size_t left = front.size() - connection->out_pos;
+        if (written < left) {
+          connection->out_pos += written;
+          break;
+        }
+        written -= left;
+        connection->out_pos = 0;
+        connection->out.pop_front();
+      }
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -308,8 +346,6 @@ void TcpRespServer::FlushWrites(Worker* worker, Connection* connection) {
     CloseConnection(worker, connection);  // peer vanished mid-reply
     return;
   }
-  connection->out.clear();
-  connection->out_pos = 0;
   if (connection->close_after_flush) {
     CloseConnection(worker, connection);
     return;

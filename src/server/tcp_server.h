@@ -22,16 +22,20 @@
 //    path; the server itself adds none around handlers).
 //
 // Per-connection I/O: reads drain the socket until EAGAIN and feed each
-// chunk to the connection's incremental RESP parser; replies accumulate
-// in a write buffer that is flushed opportunistically, with EPOLLOUT
-// armed only while a partial write is outstanding (slow clients block
-// only themselves). A protocol error answers -ERR and closes the
-// connection after the flush, like a real Redis.
+// chunk to the connection's incremental RESP parser; the replies each
+// chunk produces become one buffer on the connection's outbound queue,
+// and the flush path gathers every pending buffer into a single
+// scatter/gather write (sendmsg with an iovec per buffer) instead of
+// one syscall per buffer. EPOLLOUT is armed only while a partial write
+// is outstanding (slow clients block only themselves). A protocol error
+// answers -ERR and closes the connection after the flush, like a real
+// Redis.
 #ifndef CUCKOOGRAPH_SERVER_TCP_SERVER_H_
 #define CUCKOOGRAPH_SERVER_TCP_SERVER_H_
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <thread>
@@ -87,17 +91,25 @@ class TcpRespServer {
 
  private:
   // One client socket and everything pinned to its worker: protocol
-  // state, the outbound buffer, and the flush cursor.
+  // state, the outbound reply queue, and the flush cursor.
   struct Connection {
     explicit Connection(int fd_in, const redis_sim::CommandTable* table)
         : fd(fd_in), conn(table) {}
     int fd = -1;
     redis_sim::RespConnection conn;
-    std::string out;           // encoded replies not yet written
-    size_t out_pos = 0;        // bytes of `out` already written
+    // Encoded replies not yet written, one buffer per parsed read chunk
+    // (a pipelined chunk's replies share a buffer). The flush path
+    // gathers the whole queue into one sendmsg; `out_pos` is how much
+    // of the front buffer a partial write already consumed.
+    std::deque<std::string> out;
+    size_t out_pos = 0;
     bool close_after_flush = false;
     bool writable_armed = false;  // EPOLLOUT currently requested
   };
+
+  static bool HasPendingWrites(const Connection& connection) {
+    return !connection.out.empty();
+  }
 
   // Cross-thread state is annotated; everything else in a Worker is
   // touched only by its own event-loop thread (plus Stop after the
@@ -119,8 +131,10 @@ class TcpRespServer {
   void AcceptPending();
   void AdoptInbox(Worker* worker);
   void HandleReadable(Worker* worker, Connection* connection);
-  // Writes as much of the out buffer as the socket takes; arms/disarms
-  // EPOLLOUT and closes when a drained connection asked for it.
+  // Writes as much of the outbound queue as the socket takes, gathering
+  // all pending buffers into a single scatter/gather syscall per
+  // iteration; arms/disarms EPOLLOUT and closes when a drained
+  // connection asked for it.
   void FlushWrites(Worker* worker, Connection* connection);
   void CloseConnection(Worker* worker, Connection* connection);
   void UpdateEpollInterest(Worker* worker, Connection* connection);

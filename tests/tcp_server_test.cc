@@ -91,6 +91,27 @@ TEST_F(TcpRespServerTest, PipelinedBurstAnswersInOrder) {
     EXPECT_EQ(replies[static_cast<size_t>(i)].integer, 1) << i;
   }
   EXPECT_EQ(replies[100].integer, 100);
+
+  // A burst several read-chunks (16 KiB) deep: the server parses it as
+  // multiple recv chunks, each queuing its own reply buffer, and the
+  // flush path must gather them into ordered scatter/gather writes.
+  // Every reply is position-checked, so a dropped, duplicated or
+  // reordered iovec segment cannot pass.
+  constexpr int kDeepBurst = 4000;  // ~80 KiB of request wire
+  for (int i = 0; i < kDeepBurst; ++i) {
+    client.Pipeline({"CG.QUERY", "7", std::to_string(i % 200)});
+  }
+  const std::vector<RespValue> deep = client.Flush();
+  ASSERT_EQ(deep.size(), static_cast<size_t>(kDeepBurst));
+  for (int i = 0; i < kDeepBurst; ++i) {
+    EXPECT_EQ(deep[static_cast<size_t>(i)].integer, i % 200 < 100 ? 1 : 0)
+        << i;
+  }
+  // The byte counters see the gathered writes, not the syscall shape:
+  // every reply byte must still be accounted for.
+  EXPECT_GE(server_->stats().bytes_out,
+            static_cast<uint64_t>(kDeepBurst) * 4);  // ":0\r\n" at minimum
+  EXPECT_EQ(server_->stats().protocol_errors, 0u);
 }
 
 TEST_F(TcpRespServerTest, TornFramesFromASlowClientReassemble) {
@@ -108,6 +129,22 @@ TEST_F(TcpRespServerTest, TornFramesFromASlowClientReassemble) {
   EXPECT_EQ(client.ReadReply().integer, 1);
   EXPECT_EQ(client.ReadReply().integer, 1);
   EXPECT_EQ(client.ReadReply().integer, 0);
+
+  // A longer unread pipeline, still one byte per write: frames complete
+  // on different recv chunks, so replies land on the outbound queue as
+  // many small buffers that the coalesced flush must emit in order
+  // (the client reads nothing until every byte is on the wire).
+  std::string burst;
+  for (int i = 0; i < 64; ++i) {
+    burst += redis_sim::EncodeCommand({"CG.QUERY", "3", std::to_string(i)});
+  }
+  for (const char c : burst) {
+    ASSERT_TRUE(client.SendRaw(std::string_view(&c, 1)));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(client.ReadReply().integer, i == 4 ? 1 : 0) << i;
+  }
+  EXPECT_EQ(server_->stats().protocol_errors, 0u);
 }
 
 TEST_F(TcpRespServerTest, InlineCommandsWorkOverTheSocket) {
