@@ -1,13 +1,72 @@
 // Figure 6: insertion throughput (Mops) of all schemes on the seven
 // datasets (Section V-D methodology step 1: insert every edge of the
 // arrival stream into an empty structure).
+//
+// With --durable-dir <dir> a second table prices durability: the same
+// insert stream through a WAL-backed cuckoo-durable store under each
+// wal_sync_mode, next to the in-memory CuckooGraph baseline. Each cell
+// runs in its own subdirectory of <dir> and cleans up after itself.
+#include <string>
+#include <vector>
+
 #include "baselines/store_factory.h"
 #include "bench_util.h"
 #include "common/flags.h"
+#include "core/config.h"
 #include "datasets/datasets.h"
+#include "persist/durable_store.h"
+
+namespace {
+
+using namespace cuckoograph;
+
+struct DurableColumn {
+  const char* label;
+  WalSyncMode mode;
+};
+
+constexpr DurableColumn kDurableColumns[] = {
+    {"wal:none", WalSyncMode::kNone},
+    {"wal:group", WalSyncMode::kGroup},
+    {"wal:always", WalSyncMode::kAlways},
+};
+
+void RunDurableTable(const std::string& durable_dir, double user_scale) {
+  std::vector<std::string> columns{"in-memory"};
+  for (const DurableColumn& col : kDurableColumns) {
+    columns.push_back(col.label);
+  }
+  bench::PrintHeader(
+      "fig6-durable",
+      "Insertion throughput with a WAL (Mops, higher is better)", columns);
+  for (const std::string& dataset_name : datasets::AllDatasetNames()) {
+    const datasets::Dataset dataset =
+        bench::MakeBenchDataset(dataset_name, user_scale);
+    std::vector<std::string> row{dataset_name};
+    {
+      auto store = MakeStoreByName("CuckooGraph");
+      const bench::BasicTaskResult result =
+          bench::RunBasicTasks(*store, dataset, bench::BasicPhase::kInsert);
+      row.push_back(bench::FmtMops(result.insert_mops));
+    }
+    for (const DurableColumn& col : kDurableColumns) {
+      Config config;
+      config.wal_sync_mode = col.mode;
+      persist::DurableOptions opts = persist::MakeDurableOptions(
+          config, durable_dir + "/fig6-" + dataset_name + "-" + col.label);
+      opts.owns_dir = true;  // each cell starts empty and cleans up
+      auto store = MakeDurableStoreByName("cuckoo-durable", opts);
+      const bench::BasicTaskResult result =
+          bench::RunBasicTasks(*store, dataset, bench::BasicPhase::kInsert);
+      row.push_back(bench::FmtMops(result.insert_mops));
+    }
+    bench::PrintRow("fig6-durable", row);
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace cuckoograph;
   const Flags flags(argc, argv);
   const double user_scale = flags.GetDouble("scale", 1.0);
   bench::MaybeOpenCsvFromFlags(flags);
@@ -26,6 +85,10 @@ int main(int argc, char** argv) {
     }
     bench::PrintRow("fig6", row);
   }
+
+  const std::string durable_dir = flags.GetString("durable-dir", "");
+  if (!durable_dir.empty()) RunDurableTable(durable_dir, user_scale);
+
   bench::CloseCsv();
   return 0;
 }

@@ -13,18 +13,24 @@
 // 8), --workers (server event-loop threads, default 2; the sweep also
 // runs every row at 1 worker when workers > 1), --pipeline (requests in
 // flight per connection, default 16), --alpha (Zipf skew, default 1.5),
-// --reads (mixed-phase read fraction, default 0.5), --csv <path>.
+// --reads (mixed-phase read fraction, default 0.5), --csv <path>,
+// --durable-dir <dir> (adds one row per wal_sync_mode served out of the
+// WAL-backed cuckoo-sharded-durable store, plus a durability-stats
+// line; each row uses its own subdirectory of <dir> and cleans up).
 // CSV schema matches bench_fig17_redis (same phase columns), so the
 // in-process and served numbers diff directly.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "baselines/store_factory.h"
 #include "bench_util.h"
+#include "persist/durable_store.h"
 #include "common/flags.h"
 #include "common/timer.h"
 #include "common/types.h"
@@ -131,13 +137,34 @@ std::vector<MixedOp> AsOps(const std::vector<Edge>& edges, OpKind kind) {
 struct RowResult {
   double insert_mops = 0, query_mops = 0, delete_mops = 0, mixed_mops = 0;
   bool ok = true;
+  std::string durable_note;  // stats line for durable rows, else empty
 };
 
-RowResult RunRow(int connections, int workers, const LoadConfig& load) {
+// When `durable` is non-null the served store is the WAL-backed
+// cuckoo-sharded-durable decorator opened in durable->dir, and the row
+// ends with a one-line durability-stats print (records / syncs / group
+// commits), so the sync amortization under pipelined socket load is
+// visible next to the throughput number.
+RowResult RunRow(int connections, int workers, const LoadConfig& load,
+                 const persist::DurableOptions* durable = nullptr) {
   Config config;
-  ShardedCuckooGraph store(config);
+  ShardedCuckooGraph mem_store(config);
+  std::unique_ptr<persist::DurableStore> durable_store;
+  GraphStore* store = &mem_store;
+  if (durable != nullptr) {
+    try {
+      durable_store = MakeDurableStoreByName("cuckoo-sharded-durable",
+                                             *durable);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "FAIL: durable open: %s\n", ex.what());
+      RowResult failed;
+      failed.ok = false;
+      return failed;
+    }
+    store = durable_store.get();
+  }
   redis_sim::CommandTable table;
-  redis_sim::RegisterGraphCommands(&table, &store);
+  redis_sim::RegisterGraphCommands(&table, store);
   ServerConfig server_config;
   server_config.num_workers = workers;
   TcpRespServer server(server_config, &table);
@@ -204,11 +231,23 @@ RowResult RunRow(int connections, int workers, const LoadConfig& load) {
   }
   size_t expected_edges = 0;
   for (const auto& live : lives) expected_edges += live.size();
-  if (store.NumEdges() != expected_edges) {
+  if (store->NumEdges() != expected_edges) {
     std::fprintf(stderr,
                  "FAIL: %dc/%dw: store holds %zu edges, oracle says %zu\n",
-                 connections, workers, store.NumEdges(), expected_edges);
+                 connections, workers, store->NumEdges(), expected_edges);
     result.ok = false;
+  }
+  if (durable_store != nullptr) {
+    const persist::DurableStats stats = durable_store->durable_stats();
+    char note[160];
+    std::snprintf(note, sizeof(note),
+                  "  (durable: %llu records, %llu syncs, %llu group "
+                  "commits, %llu checkpoints)",
+                  static_cast<unsigned long long>(stats.wal.records_appended),
+                  static_cast<unsigned long long>(stats.wal.syncs),
+                  static_cast<unsigned long long>(stats.wal.group_commits),
+                  static_cast<unsigned long long>(stats.checkpoints));
+    result.durable_note = note;
   }
   return result;
 }
@@ -273,6 +312,39 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // Durable rows: the same pipelined load served out of the WAL-backed
+  // sharded store, one row per wal_sync_mode, at the sweep ceiling.
+  const std::string durable_dir = flags.GetString("durable-dir", "");
+  if (!durable_dir.empty()) {
+    struct { const char* label; WalSyncMode mode; } kModes[] = {
+        {"wal:none", WalSyncMode::kNone},
+        {"wal:group", WalSyncMode::kGroup},
+        {"wal:always", WalSyncMode::kAlways},
+    };
+    const size_t total_ops =
+        std::max<size_t>(4'000, static_cast<size_t>(400'000 * user_scale));
+    load.ops_per_conn =
+        std::max<size_t>(250, total_ops / static_cast<size_t>(max_connections));
+    for (const auto& m : kModes) {
+      Config durable_config;
+      durable_config.wal_sync_mode = m.mode;
+      persist::DurableOptions opts = persist::MakeDurableOptions(
+          durable_config, durable_dir + "/served-" + m.label);
+      opts.owns_dir = true;  // each row starts empty and cleans up
+      const RowResult r =
+          RunRow(max_connections, std::max(1, max_workers), load, &opts);
+      bench::PrintRow(
+          "served",
+          {std::to_string(max_connections) + "c/" +
+               std::to_string(std::max(1, max_workers)) + "w/p" +
+               std::to_string(load.pipeline) + " " + m.label,
+           bench::FmtMops(r.insert_mops), bench::FmtMops(r.query_mops),
+           bench::FmtMops(r.delete_mops), bench::FmtMops(r.mixed_mops)});
+      if (!r.durable_note.empty()) std::puts(r.durable_note.c_str());
+      ok = ok && r.ok;
+    }
+  }
+
   std::printf("(diff against bench_fig17_redis --csv: same columns, same "
               "Zipf mix, minus the kernel socket)\n");
   bench::CloseCsv();

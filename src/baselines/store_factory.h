@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/graph_store.h"
+#include "persist/durable_store.h"
 
 namespace cuckoograph {
 
@@ -37,6 +38,17 @@ std::vector<std::string> AllSchemeNames();
 // Instantiates the named scheme. Throws std::invalid_argument with a
 // message listing every valid scheme when the name is unknown.
 std::unique_ptr<GraphStore> MakeStoreByName(const std::string& name);
+
+// Opens the named durable scheme ("cuckoo-durable" or
+// "cuckoo-sharded-durable") over caller-chosen DurableOptions — an
+// explicit directory, sync mode, checkpoint cadence, fault-injection
+// factory. This is how the durability benches and crash tests get a
+// recoverable instance; the registry's own entries of the same names
+// use an ephemeral owned temp dir with syncs off instead. Throws
+// std::invalid_argument for a non-durable name, std::runtime_error when
+// the directory cannot be opened/recovered.
+std::unique_ptr<persist::DurableStore> MakeDurableStoreByName(
+    const std::string& name, const persist::DurableOptions& opts);
 
 // Parses a comma-separated scheme list (the benches' --schemes flag),
 // validating each entry through the same unknown-name path as

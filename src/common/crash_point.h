@@ -1,0 +1,48 @@
+// Named crash points for the fault-injection test harness
+// (tests/crash_point_harness.h): code that participates in a durability
+// protocol calls CrashPoint("layer:moment") at the instants a crash-
+// recovery matrix must cover, and a test-installed handler can kill the
+// process right there. With no handler installed (every production run)
+// a crash point costs one relaxed atomic load, so the hooks stay
+// compiled in — the binary the crash tests prove is the binary that
+// ships.
+//
+// Registered points (grep for CrashPoint( to verify the list):
+//   core:mid_transformation    inline slots copied out, chain half-built
+//   wal:post_append_pre_sync   record bytes written, fdatasync not issued
+//   wal:mid_group_commit       commit thread woke, group fdatasync pending
+//   snapshot:pre_rename        snapshot tmp durable, rename not issued
+//   snapshot:post_rename       snapshot renamed, WAL not yet truncated
+#ifndef CUCKOOGRAPH_COMMON_CRASH_POINT_H_
+#define CUCKOOGRAPH_COMMON_CRASH_POINT_H_
+
+#include <atomic>
+
+namespace cuckoograph {
+
+// Handler invoked at every crash point with the point's name. It may
+// terminate the process (the harness raises SIGKILL); if it returns,
+// execution continues normally.
+using CrashPointHandler = void (*)(const char* point);
+
+namespace internal {
+inline std::atomic<CrashPointHandler> g_crash_point_handler{nullptr};
+}  // namespace internal
+
+// Installs (or, with nullptr, removes) the process-wide handler. Tests
+// install it in a forked child before touching the store under test.
+inline void SetCrashPointHandler(CrashPointHandler handler) {
+  internal::g_crash_point_handler.store(handler, std::memory_order_release);
+}
+
+// Announces a named crash point. `point` must be a string literal (the
+// handler may stash the pointer).
+inline void CrashPoint(const char* point) {
+  CrashPointHandler handler =
+      internal::g_crash_point_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) handler(point);
+}
+
+}  // namespace cuckoograph
+
+#endif  // CUCKOOGRAPH_COMMON_CRASH_POINT_H_

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/crash_point.h"
 #include "common/thread_annotations.h"
 
 namespace cuckoograph {
@@ -461,6 +462,10 @@ void CuckooGraph::TransformToChain(VertexEntry* e) {
   e->chain = NewChain();
   e->has_chain = true;
   ++transformations_;
+  // The in-memory structure is at its most fragile right here: the entry
+  // already points at a chain that holds none of the moved neighbors. A
+  // crash now must still recover cleanly from WAL + snapshot alone.
+  CrashPoint("core:mid_transformation");
   for (uint32_t i = 0; i < count; ++i) {
     ChainInsert(e->chain, moved[i]);
   }

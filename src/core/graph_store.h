@@ -66,6 +66,11 @@ struct StoreCapabilities {
   // are excluded: Neighbors()/Nodes() still require the store to be
   // quiesced for as long as the cursor is drained, whatever the scheme.
   bool concurrent_mutations = false;
+  // Mutations survive a process crash: the store logs them to a WAL
+  // before applying and recovers snapshot + log on reopen (the
+  // persist/durable_store.h wrapper). Benches consult this to report
+  // ingest overhead rows only for schemes that actually pay it.
+  bool durable = false;
 };
 
 class GraphStore {

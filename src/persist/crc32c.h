@@ -1,0 +1,49 @@
+// CRC32C (Castagnoli polynomial, the checksum RocksDB/LevelDB frame
+// their WALs with): a portable table-driven implementation. Hardware
+// CRC instructions would be faster, but the WAL's cost is dominated by
+// the write/fdatasync pair, so the scalar table is plenty — and it is
+// identical on every platform, which is what an on-disk format needs.
+#ifndef CUCKOOGRAPH_PERSIST_CRC32C_H_
+#define CUCKOOGRAPH_PERSIST_CRC32C_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace cuckoograph::persist {
+
+namespace internal {
+
+inline const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace internal
+
+// CRC32C of `n` bytes. Extend a running checksum by passing the prior
+// result as `seed` (byte-stream concatenation semantics).
+inline uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0) {
+  const auto& table = internal::Crc32cTable();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace cuckoograph::persist
+
+#endif  // CUCKOOGRAPH_PERSIST_CRC32C_H_

@@ -1,0 +1,248 @@
+#include "persist/file_io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+#include "common/errno_string.h"
+
+namespace cuckoograph::persist {
+namespace {
+
+std::string PathError(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + ErrnoString(errno);
+}
+
+int OpenRetry(const char* path, int flags, mode_t mode) {
+  int fd;
+  do {
+    fd = ::open(path, flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+bool CloseRetry(int fd) {
+  // POSIX leaves the fd state unspecified after EINTR; Linux closes it,
+  // so retrying would race another thread's fresh fd. Close once.
+  return ::close(fd) == 0 || errno == EINTR;
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  explicit PosixWritableFile(int fd) : fd_(fd) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) CloseRetry(fd_);
+  }
+
+  ssize_t Write(const void* data, size_t n) override {
+    ssize_t written;
+    do {
+      written = ::write(fd_, data, n);
+    } while (written < 0 && errno == EINTR);
+    return written;
+  }
+
+  bool Sync() override {
+    int rc;
+    do {
+      rc = ::fdatasync(fd_);
+    } while (rc < 0 && errno == EINTR);
+    return rc == 0;
+  }
+
+  bool Truncate(uint64_t size) override {
+    int rc;
+    do {
+      rc = ::ftruncate(fd_, static_cast<off_t>(size));
+    } while (rc < 0 && errno == EINTR);
+    return rc == 0;
+  }
+
+  bool Close() override {
+    if (fd_ < 0) return true;
+    const bool ok = CloseRetry(fd_);
+    fd_ = -1;
+    return ok;
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+bool WriteFully(WritableFile* file, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t written = file->Write(p + done, n - done);
+    if (written < 0) return false;
+    if (written == 0) {
+      // A zero-byte acceptance would spin forever; report it as ENOSPC,
+      // the closest honest description.
+      errno = ENOSPC;
+      return false;
+    }
+    done += static_cast<size_t>(written);
+  }
+  return true;
+}
+
+std::unique_ptr<WritableFile> OpenWritableFile(const std::string& path,
+                                               bool truncate,
+                                               std::string* error) {
+  const int flags =
+      O_CREAT | O_WRONLY | O_CLOEXEC | (truncate ? O_TRUNC : O_APPEND);
+  const int fd = OpenRetry(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = PathError("open", path);
+    return nullptr;
+  }
+  return std::make_unique<PosixWritableFile>(fd);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool ReadFileBytes(const std::string& path, std::string* out,
+                   std::string* error) {
+  const int fd = OpenRetry(path.c_str(), O_RDONLY | O_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = PathError("open", path);
+    return false;
+  }
+  out->clear();
+  char buffer[64 * 1024];
+  while (true) {
+    ssize_t n;
+    do {
+      n = ::read(fd, buffer, sizeof(buffer));
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (error != nullptr) *error = PathError("read", path);
+      CloseRetry(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out->append(buffer, static_cast<size_t>(n));
+  }
+  CloseRetry(fd);
+  return true;
+}
+
+bool EnsureDir(const std::string& path, std::string* error) {
+  if (path.empty()) {
+    if (error != nullptr) *error = "EnsureDir: empty path";
+    return false;
+  }
+  // Walk the components, creating each missing prefix.
+  size_t pos = 0;
+  while (pos != std::string::npos) {
+    pos = path.find('/', pos + 1);
+    const std::string prefix =
+        pos == std::string::npos ? path : path.substr(0, pos);
+    if (prefix.empty()) continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      if (error != nullptr) *error = PathError("mkdir", prefix);
+      return false;
+    }
+  }
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    if (error != nullptr) *error = path + " exists and is not a directory";
+    return false;
+  }
+  return true;
+}
+
+bool SyncDir(const std::string& path, std::string* error) {
+  const int fd = OpenRetry(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC,
+                           0);
+  if (fd < 0) {
+    if (error != nullptr) *error = PathError("open(dir)", path);
+    return false;
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc < 0 && errno == EINTR);
+  CloseRetry(fd);
+  if (rc != 0) {
+    if (error != nullptr) *error = PathError("fsync(dir)", path);
+    return false;
+  }
+  return true;
+}
+
+bool RenameFile(const std::string& from, const std::string& to,
+                std::string* error) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "rename " + from + " -> " + to + ": " + ErrnoString(errno);
+    }
+    return false;
+  }
+  return true;
+}
+
+bool RemoveFile(const std::string& path) {
+  return ::unlink(path.c_str()) == 0;
+}
+
+bool TruncateFile(const std::string& path, uint64_t size,
+                  std::string* error) {
+  int rc;
+  do {
+    rc = ::truncate(path.c_str(), static_cast<off_t>(size));
+  } while (rc < 0 && errno == EINTR);
+  if (rc != 0) {
+    if (error != nullptr) *error = PathError("truncate", path);
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> ListDir(const std::string& path) {
+  std::vector<std::string> names;
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return names;
+  while (dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(dir);
+  return names;
+}
+
+std::string MakeTempDir(const std::string& prefix, std::string* error) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp");
+  if (!tmpl.empty() && tmpl.back() != '/') tmpl += '/';
+  tmpl += prefix + "XXXXXX";
+  std::string buffer = tmpl;  // mkdtemp mutates in place
+  if (::mkdtemp(buffer.data()) == nullptr) {
+    if (error != nullptr) *error = PathError("mkdtemp", tmpl);
+    return std::string();
+  }
+  return buffer;
+}
+
+void RemoveDirTree(const std::string& path) {
+  for (const std::string& name : ListDir(path)) {
+    const std::string child = path + "/" + name;
+    if (::unlink(child.c_str()) != 0 && errno == EISDIR) {
+      RemoveDirTree(child);
+    }
+  }
+  ::rmdir(path.c_str());
+}
+
+}  // namespace cuckoograph::persist

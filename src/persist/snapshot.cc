@@ -1,0 +1,246 @@
+#include "persist/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/crash_point.h"
+#include "persist/crc32c.h"
+
+namespace cuckoograph::persist {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'G', 'S', 'N', 'A', 'P', '1', '\0'};
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kFlagWeights = 1u << 0;
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8 + 8;
+constexpr const char* kSnapshotPrefix = "snapshot-";
+constexpr const char* kSnapshotSuffix = ".cgsnap";
+constexpr const char* kTmpName = "snapshot.tmp";
+// Sanity cap on counts decoded from a header (covers files truncated in
+// a way the CRC read would otherwise try to allocate for).
+constexpr uint64_t kMaxCount = 1ull << 33;
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v);
+  b[1] = static_cast<char>(v >> 8);
+  b[2] = static_cast<char>(v >> 16);
+  b[3] = static_cast<char>(v >> 24);
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const char* p) {
+  const auto* b = reinterpret_cast<const uint8_t*>(p);
+  return static_cast<uint32_t>(b[0]) | static_cast<uint32_t>(b[1]) << 8 |
+         static_cast<uint32_t>(b[2]) << 16 | static_cast<uint32_t>(b[3]) << 24;
+}
+
+uint64_t GetU64(const char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+bool Fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+// Parses "snapshot-<digits>.cgsnap"; false for anything else (including
+// the tmp file, which must never be trusted).
+bool ParseSnapshotName(const std::string& name, uint64_t* lsn) {
+  const size_t prefix_len = std::strlen(kSnapshotPrefix);
+  const size_t suffix_len = std::strlen(kSnapshotSuffix);
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, kSnapshotPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSnapshotSuffix) !=
+      0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *lsn = value;
+  return true;
+}
+
+}  // namespace
+
+std::string SnapshotFileName(uint64_t last_lsn) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%s%020llu%s", kSnapshotPrefix,
+                static_cast<unsigned long long>(last_lsn), kSnapshotSuffix);
+  return buffer;
+}
+
+bool WriteSnapshotFile(const std::string& dir,
+                       const analytics::CsrSnapshot& csr, uint64_t last_lsn,
+                       const WritableFileFactory& factory,
+                       std::string* error) {
+  const size_t num_nodes = csr.num_nodes();
+  const size_t num_edges = csr.num_edges();
+  std::string bytes;
+  bytes.reserve(kHeaderBytes + num_nodes * 8 + num_edges * 4 +
+                (csr.has_weights() ? num_edges * 8 : 0) + 4);
+  bytes.append(kMagic, sizeof(kMagic));
+  PutU32(&bytes, kVersion);
+  PutU32(&bytes, csr.has_weights() ? kFlagWeights : 0);
+  PutU64(&bytes, last_lsn);
+  PutU64(&bytes, num_nodes);
+  PutU64(&bytes, num_edges);
+  for (const NodeId original : csr.originals()) PutU32(&bytes, original);
+  for (size_t u = 0; u < num_nodes; ++u) {
+    PutU32(&bytes, static_cast<uint32_t>(
+                       csr.Degree(static_cast<analytics::DenseId>(u))));
+  }
+  for (size_t u = 0; u < num_nodes; ++u) {
+    for (const analytics::DenseId v :
+         csr.Neighbors(static_cast<analytics::DenseId>(u))) {
+      PutU32(&bytes, v);
+    }
+  }
+  if (csr.has_weights()) {
+    for (size_t u = 0; u < num_nodes; ++u) {
+      for (const uint64_t w :
+           csr.Weights(static_cast<analytics::DenseId>(u))) {
+        PutU64(&bytes, w);
+      }
+    }
+  }
+  PutU32(&bytes, Crc32c(bytes.data(), bytes.size()));
+
+  const std::string tmp_path = dir + "/" + kTmpName;
+  const std::string final_path = dir + "/" + SnapshotFileName(last_lsn);
+  std::unique_ptr<WritableFile> file =
+      factory ? factory(tmp_path, /*truncate=*/true, error)
+              : OpenWritableFile(tmp_path, /*truncate=*/true, error);
+  if (file == nullptr) return false;
+  if (!WriteFully(file.get(), bytes.data(), bytes.size())) {
+    file->Close();
+    return Fail(error, "snapshot tmp write failed");
+  }
+  if (!file->Sync()) {
+    file->Close();
+    return Fail(error, "snapshot tmp fsync failed");
+  }
+  if (!file->Close()) return Fail(error, "snapshot tmp close failed");
+  CrashPoint("snapshot:pre_rename");
+  if (!RenameFile(tmp_path, final_path, error)) return false;
+  if (!SyncDir(dir, error)) return false;
+  CrashPoint("snapshot:post_rename");
+  return true;
+}
+
+bool LoadSnapshotFile(const std::string& path, SnapshotContents* out,
+                      std::string* error) {
+  std::string bytes;
+  if (!ReadFileBytes(path, &bytes, error)) return false;
+  if (bytes.size() < kHeaderBytes + 4) {
+    return Fail(error, path + ": shorter than header + crc");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Fail(error, path + ": bad magic");
+  }
+  const uint32_t version = GetU32(bytes.data() + 8);
+  if (version != kVersion) {
+    return Fail(error, path + ": unsupported version");
+  }
+  const uint32_t flags = GetU32(bytes.data() + 12);
+  const bool has_weights = (flags & kFlagWeights) != 0;
+  const uint64_t last_lsn = GetU64(bytes.data() + 16);
+  const uint64_t num_nodes = GetU64(bytes.data() + 24);
+  const uint64_t num_edges = GetU64(bytes.data() + 32);
+  if (num_nodes > kMaxCount || num_edges > kMaxCount) {
+    return Fail(error, path + ": node/edge count above sanity cap");
+  }
+  const uint64_t body = num_nodes * 8 + num_edges * 4 +
+                        (has_weights ? num_edges * 8 : 0);
+  if (bytes.size() != kHeaderBytes + body + 4) {
+    return Fail(error, path + ": size disagrees with header counts");
+  }
+  const uint32_t stored_crc = GetU32(bytes.data() + bytes.size() - 4);
+  if (Crc32c(bytes.data(), bytes.size() - 4) != stored_crc) {
+    return Fail(error, path + ": crc mismatch");
+  }
+
+  const char* originals = bytes.data() + kHeaderBytes;
+  const char* degrees = originals + num_nodes * 4;
+  const char* neighbors = degrees + num_nodes * 4;
+  const char* weights = neighbors + num_edges * 4;
+
+  uint64_t degree_sum = 0;
+  for (uint64_t u = 0; u < num_nodes; ++u) {
+    degree_sum += GetU32(degrees + u * 4);
+  }
+  if (degree_sum != num_edges) {
+    return Fail(error, path + ": degree sum disagrees with edge count");
+  }
+
+  out->last_lsn = last_lsn;
+  out->edges.clear();
+  out->edges.reserve(num_edges);
+  out->weights.clear();
+  if (has_weights) out->weights.reserve(num_edges);
+  uint64_t cursor = 0;
+  for (uint64_t u = 0; u < num_nodes; ++u) {
+    const NodeId original_u = GetU32(originals + u * 4);
+    const uint32_t degree = GetU32(degrees + u * 4);
+    for (uint32_t i = 0; i < degree; ++i, ++cursor) {
+      const uint32_t dense_v = GetU32(neighbors + cursor * 4);
+      if (dense_v >= num_nodes) {
+        return Fail(error, path + ": neighbor dense id out of range");
+      }
+      out->edges.push_back(
+          Edge{original_u, GetU32(originals + uint64_t{dense_v} * 4)});
+      if (has_weights) {
+        out->weights.push_back(GetU64(weights + cursor * 8));
+      }
+    }
+  }
+  return true;
+}
+
+bool FindNewestValidSnapshot(const std::string& dir, SnapshotScanResult* out,
+                             std::string* error) {
+  out->found = false;
+  out->path.clear();
+  out->contents = SnapshotContents{};
+  out->skipped.clear();
+  std::vector<std::pair<uint64_t, std::string>> candidates;
+  for (const std::string& name : ListDir(dir)) {
+    uint64_t lsn = 0;
+    if (ParseSnapshotName(name, &lsn)) candidates.emplace_back(lsn, name);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [lsn, name] : candidates) {
+    const std::string path = dir + "/" + name;
+    std::string why;
+    if (LoadSnapshotFile(path, &out->contents, &why)) {
+      out->found = true;
+      out->path = path;
+      return true;
+    }
+    out->skipped.push_back(name + " (" + why + ")");
+  }
+  (void)error;
+  return true;
+}
+
+void PruneOldSnapshots(const std::string& dir, const std::string& keep_path) {
+  for (const std::string& name : ListDir(dir)) {
+    uint64_t lsn = 0;
+    if (!ParseSnapshotName(name, &lsn)) continue;
+    const std::string path = dir + "/" + name;
+    if (path != keep_path) RemoveFile(path);
+  }
+}
+
+}  // namespace cuckoograph::persist

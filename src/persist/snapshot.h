@@ -1,0 +1,84 @@
+// Checkpoint snapshots for the durability subsystem: a compact on-disk
+// dump of one quiesced CsrSnapshot (the same flat CSR the analytics
+// kernels run over), stamped with the last WAL LSN it covers. Together
+// with the WAL this is the Redis RDB+AOF hybrid: recovery loads the
+// newest valid snapshot and replays only the WAL records with a higher
+// LSN.
+//
+// Publication is atomic: the writer streams to `snapshot.tmp`, fsyncs
+// it, renames it to its final `snapshot-<lsn>.cgsnap` name, and fsyncs
+// the directory — a crash at any instant leaves either the old
+// snapshot set or the new one, never a half-written file under a
+// trusted name. A whole-file CRC32C trailer catches the remaining ways
+// a file can lie (bit rot, a truncated copy), and the recovery scan
+// simply skips invalid files and falls back to the next-newest.
+//
+// File layout (integers little-endian):
+//   magic "CGSNAP1\0" | u32 version | u32 flags (bit0 = weights)
+//   u64 last_lsn | u64 num_nodes | u64 num_edges
+//   originals[num_nodes] u32      dense id -> original node id
+//   degrees[num_nodes]   u32      out-degree per dense id
+//   neighbors[num_edges] u32      dense successor ids, per-vertex runs
+//   weights[num_edges]   u64      only when flags bit0
+//   u32 crc32c(everything above)
+#ifndef CUCKOOGRAPH_PERSIST_SNAPSHOT_H_
+#define CUCKOOGRAPH_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytics/csr_snapshot.h"
+#include "common/types.h"
+#include "persist/file_io.h"
+
+namespace cuckoograph::persist {
+
+// What recovery gets back out of a snapshot file: the edge set in
+// original node ids (<u asc, v asc>, the CsrSnapshot extraction order)
+// plus the LSN watermark that tells replay where to pick up.
+struct SnapshotContents {
+  uint64_t last_lsn = 0;
+  std::vector<Edge> edges;
+  // Parallel to `edges` when the snapshotted store was weighted;
+  // empty otherwise.
+  std::vector<uint64_t> weights;
+};
+
+// The final name a snapshot of watermark `last_lsn` publishes under
+// (zero-padded so lexicographic order is LSN order).
+std::string SnapshotFileName(uint64_t last_lsn);
+
+// Serializes `csr` (covering WAL LSNs <= last_lsn) into
+// `dir/SnapshotFileName(last_lsn)` via the tmp+fsync+rename+dirsync
+// sequence. `factory` may be null for the POSIX default. On failure the
+// tmp file may remain; it is never trusted by the scan.
+bool WriteSnapshotFile(const std::string& dir,
+                       const analytics::CsrSnapshot& csr, uint64_t last_lsn,
+                       const WritableFileFactory& factory, std::string* error);
+
+// Parses and CRC-verifies one snapshot file. False with *error on any
+// I/O failure or validation miss — a snapshot is all-or-nothing,
+// unlike the WAL there is no usable prefix.
+bool LoadSnapshotFile(const std::string& path, SnapshotContents* out,
+                      std::string* error);
+
+// Scans `dir` for published snapshots, newest watermark first, and
+// loads the first one that validates. Returns false only when the
+// directory itself is unreadable; "no valid snapshot" is found=false.
+struct SnapshotScanResult {
+  bool found = false;
+  std::string path;            // the file `contents` came from
+  SnapshotContents contents;
+  std::vector<std::string> skipped;  // invalid/corrupt files passed over
+};
+bool FindNewestValidSnapshot(const std::string& dir, SnapshotScanResult* out,
+                             std::string* error);
+
+// Unlinks every published snapshot in `dir` older than `keep_path`
+// (the just-published file). Best effort.
+void PruneOldSnapshots(const std::string& dir, const std::string& keep_path);
+
+}  // namespace cuckoograph::persist
+
+#endif  // CUCKOOGRAPH_PERSIST_SNAPSHOT_H_

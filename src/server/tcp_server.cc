@@ -107,12 +107,25 @@ bool TcpRespServer::Start(std::string* error) {
   return true;
 }
 
+namespace {
+
+// Rings a worker's eventfd. A signal can interrupt even this 8-byte
+// write; dropping it on EINTR would lose the wakeup and leave the
+// worker parked in epoll_wait with work pending.
+void RingWakeFd(int wake_fd) {
+  const uint64_t one = 1;
+  ssize_t n;
+  do {
+    n = ::write(wake_fd, &one, sizeof(one));
+  } while (n < 0 && errno == EINTR);
+}
+
+}  // namespace
+
 void TcpRespServer::Stop() {
   if (running_.exchange(false, std::memory_order_acq_rel)) {
     for (const auto& worker : workers_) {
-      const uint64_t one = 1;
-      [[maybe_unused]] const ssize_t n =
-          ::write(worker->wake_fd, &one, sizeof(one));
+      RingWakeFd(worker->wake_fd);
     }
     for (const auto& worker : workers_) {
       if (worker->thread.joinable()) worker->thread.join();
@@ -166,8 +179,10 @@ void TcpRespServer::WorkerLoop(Worker* worker, bool owns_listener) {
       const int fd = events[i].data.fd;
       if (fd == worker->wake_fd) {
         uint64_t drained = 0;
-        [[maybe_unused]] const ssize_t r =
-            ::read(worker->wake_fd, &drained, sizeof(drained));
+        ssize_t r;
+        do {
+          r = ::read(worker->wake_fd, &drained, sizeof(drained));
+        } while (r < 0 && errno == EINTR);
         AdoptInbox(worker);
         continue;
       }
@@ -220,9 +235,7 @@ void TcpRespServer::AcceptPending() {
         MutexLock lock(&worker->inbox_mu);
         worker->inbox.push_back(fd);
       }
-      const uint64_t one = 1;
-      [[maybe_unused]] const ssize_t n =
-          ::write(worker->wake_fd, &one, sizeof(one));
+      RingWakeFd(worker->wake_fd);
     }
   }
 }

@@ -1,0 +1,116 @@
+// Fork/kill/recover harness for the durability crash tests. A test
+// arms one named crash point (common/crash_point.h), forks a child
+// that runs the write workload with a handler installed, and the
+// handler SIGKILLs the child at the N-th hit of the armed point. The
+// parent waits, then recovers the store directory and checks the
+// prefix-consistency oracle.
+//
+// Why SIGKILL and not a simulated crash: SIGKILL is the real thing —
+// no destructors, no stdio flush, no WAL Close() — while the page
+// cache (shared with the parent) survives, so recovery sees exactly
+// the bytes the child's write() calls had issued, torn mid-frame
+// wherever the kill landed. What SIGKILL cannot simulate is losing the
+// page cache itself (a power cut); the FaultFile/truncation tests
+// cover that by chopping and corrupting WAL bytes directly.
+//
+// The child reports progress through a MAP_SHARED page: `acked` counts
+// workload ops whose mutation call returned (so, per the sync mode,
+// durably acknowledged), `hits` counts firings of the armed point.
+#ifndef CUCKOOGRAPH_TESTS_CRASH_POINT_HARNESS_H_
+#define CUCKOOGRAPH_TESTS_CRASH_POINT_HARNESS_H_
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <new>
+
+#include "common/crash_point.h"
+
+namespace cuckoograph::testing {
+
+struct CrashSharedState {
+  std::atomic<uint64_t> acked;
+  std::atomic<uint64_t> hits;
+};
+
+namespace internal {
+
+// Handler state; set in the forked child before any store activity, so
+// plain globals are safe (the child is single-threaded at install time
+// and the handler only reads them).
+inline const char* g_armed_point = nullptr;
+inline uint64_t g_kill_on_hit = 0;
+inline CrashSharedState* g_shared = nullptr;
+
+inline void KillAtArmedPoint(const char* point) {
+  if (std::strcmp(point, g_armed_point) != 0) return;
+  const uint64_t hit = g_shared->hits.fetch_add(1) + 1;
+  if (hit < g_kill_on_hit) return;
+  ::kill(::getpid(), SIGKILL);
+  // SIGKILL delivery can land on another thread first; never run past
+  // the crash point.
+  for (;;) ::pause();
+}
+
+}  // namespace internal
+
+struct CrashRunResult {
+  bool forked = false;        // fork itself succeeded
+  bool killed = false;        // child died of SIGKILL (the armed point fired)
+  int exit_status = -1;       // exit code when the child exited normally
+  uint64_t acked = 0;         // workload ops acknowledged before death
+  uint64_t hits = 0;          // firings of the armed point
+};
+
+// Forks a child that installs the kill handler and runs `child_body`.
+// The child is expected to die at the armed point; a child that
+// finishes `child_body` exits 0 instead (result.killed == false), which
+// tests treat as "workload too short to reach the point" and fail on.
+inline CrashRunResult RunToCrash(
+    const char* point, uint64_t kill_on_hit,
+    const std::function<void(CrashSharedState*)>& child_body) {
+  CrashRunResult result;
+  void* page = ::mmap(nullptr, sizeof(CrashSharedState),
+                      PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS,
+                      -1, 0);
+  if (page == MAP_FAILED) return result;
+  auto* shared = new (page) CrashSharedState{};
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::munmap(page, sizeof(CrashSharedState));
+    return result;
+  }
+  if (pid == 0) {
+    internal::g_armed_point = point;
+    internal::g_kill_on_hit = kill_on_hit;
+    internal::g_shared = shared;
+    SetCrashPointHandler(&internal::KillAtArmedPoint);
+    child_body(shared);
+    ::_exit(0);  // point never fired — no gtest teardown in the child
+  }
+
+  result.forked = true;
+  int status = 0;
+  pid_t waited;
+  do {
+    waited = ::waitpid(pid, &status, 0);
+  } while (waited < 0 && errno == EINTR);
+  result.killed = WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+  if (WIFEXITED(status)) result.exit_status = WEXITSTATUS(status);
+  result.acked = shared->acked.load();
+  result.hits = shared->hits.load();
+  ::munmap(page, sizeof(CrashSharedState));
+  return result;
+}
+
+}  // namespace cuckoograph::testing
+
+#endif  // CUCKOOGRAPH_TESTS_CRASH_POINT_HARNESS_H_

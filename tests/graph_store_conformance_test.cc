@@ -226,20 +226,36 @@ TEST(StoreFactoryTest, MakesEveryRegisteredScheme) {
 
 TEST(StoreFactoryTest, SchemeOrderIsThePapersColumnOrder) {
   // The paper's comparison columns first, then the extended stores
-  // (weighted, then the concurrent sharded front-end).
+  // (weighted, the concurrent sharded front-end, the durable
+  // decorators).
   const std::vector<std::string> expected{
-      "CuckooGraph", "AdjacencyList",   "HashMap",
-      "SortedVector", "cuckoo-weighted", "cuckoo-sharded"};
+      "CuckooGraph",     "AdjacencyList", "HashMap",
+      "SortedVector",    "cuckoo-weighted", "cuckoo-sharded",
+      "cuckoo-durable",  "cuckoo-sharded-durable"};
   EXPECT_EQ(AllSchemeNames(), expected);
 }
 
 TEST(StoreFactoryTest, ShardedSchemeAdvertisesConcurrency) {
   EXPECT_TRUE(
       MakeStoreByName("cuckoo-sharded")->Capabilities().concurrent_mutations);
-  // It is the only built-in that does.
+  // Only the sharded front-end and its durable decorator (which
+  // inherits the wrapped store's capabilities) advertise it.
   for (const std::string& name : AllSchemeNames()) {
-    if (name == "cuckoo-sharded") continue;
-    EXPECT_FALSE(MakeStoreByName(name)->Capabilities().concurrent_mutations)
+    if (name == "cuckoo-sharded" || name == "cuckoo-sharded-durable") {
+      EXPECT_TRUE(MakeStoreByName(name)->Capabilities().concurrent_mutations)
+          << name;
+    } else {
+      EXPECT_FALSE(MakeStoreByName(name)->Capabilities().concurrent_mutations)
+          << name;
+    }
+  }
+}
+
+TEST(StoreFactoryTest, DurableSchemesAdvertiseDurability) {
+  for (const std::string& name : AllSchemeNames()) {
+    const bool expect_durable =
+        name == "cuckoo-durable" || name == "cuckoo-sharded-durable";
+    EXPECT_EQ(MakeStoreByName(name)->Capabilities().durable, expect_durable)
         << name;
   }
 }
@@ -277,6 +293,178 @@ TEST(StoreFactoryTest, ParseSchemesFlagSelectsAndValidates) {
 TEST(StoreFactoryTest, DuplicateRegistrationIsRejected) {
   EXPECT_FALSE(RegisterStore("CuckooGraph", nullptr));
 }
+
+TEST(StoreFactoryTest, MakeDurableStoreRejectsNonDurableNames) {
+  persist::DurableOptions opts;
+  opts.dir = "/tmp/never-created";
+  EXPECT_THROW(MakeDurableStoreByName("CuckooGraph", opts),
+               std::invalid_argument);
+  EXPECT_THROW(MakeDurableStoreByName("NoSuchScheme", opts),
+               std::invalid_argument);
+}
+
+TEST(StoreFactoryTest, MakeDurableOptionsHonorsTheConfigKnobs) {
+  Config config;
+  config.wal_sync_mode = WalSyncMode::kAlways;
+  config.wal_checkpoint_records = 123;
+  const persist::DurableOptions opts =
+      persist::MakeDurableOptions(config, "/some/dir");
+  EXPECT_EQ(opts.dir, "/some/dir");
+  EXPECT_EQ(opts.sync_mode, WalSyncMode::kAlways);
+  EXPECT_EQ(opts.checkpoint_every_records, 123u);
+  EXPECT_FALSE(opts.owns_dir);
+}
+
+// ---- Durability conformance ------------------------------------------------
+// The durable schemes additionally promise that a store reopened over
+// the same directory equals the store at close: write -> close ->
+// recover -> verify, through both the WAL-replay and the snapshot
+// recovery paths.
+
+class DurableConformanceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    std::string error;
+    dir_ = persist::MakeTempDir("conformance-durable-", &error);
+    ASSERT_FALSE(dir_.empty()) << error;
+  }
+  void TearDown() override { persist::RemoveDirTree(dir_); }
+
+  // Opens (or reopens, recovering) the scheme under test over dir_.
+  std::unique_ptr<persist::DurableStore> Open(
+      WalSyncMode mode = WalSyncMode::kNone, size_t checkpoint_every = 0) {
+    persist::DurableOptions opts;
+    opts.dir = dir_;
+    opts.sync_mode = mode;
+    opts.checkpoint_every_records = checkpoint_every;
+    return MakeDurableStoreByName(GetParam(), opts);
+  }
+
+  std::string dir_;
+};
+
+TEST_P(DurableConformanceTest, EmptyStoreRecoversEmpty) {
+  Open().reset();  // open, log nothing, close
+  auto reopened = Open();
+  EXPECT_EQ(reopened->NumEdges(), 0u);
+  EXPECT_EQ(reopened->NumNodes(), 0u);
+  EXPECT_FALSE(reopened->recovery().snapshot_loaded);
+  EXPECT_EQ(reopened->recovery().replayed_records, 0u);
+}
+
+TEST_P(DurableConformanceTest, WriteCloseRecoverVerify) {
+  ReferenceModel model;
+  {
+    auto store = Open();
+    SplitMix64 rng(512);
+    std::vector<Edge> batch;
+    for (int i = 0; i < 3'000; ++i) {
+      batch.push_back(Edge{rng.NextBelow(40), rng.NextBelow(300)});
+    }
+    store->InsertEdges(batch);
+    for (const Edge& e : batch) model[e.u].insert(e.v);
+    for (int i = 0; i < 2'000; ++i) {  // scalar churn on top of the batch
+      const NodeId u = rng.NextBelow(40);
+      const NodeId v = rng.NextBelow(300);
+      if (rng.NextBelow(4) == 0) {
+        store->DeleteEdge(u, v);
+        model[u].erase(v);
+        if (model[u].empty()) model.erase(u);
+      } else {
+        store->InsertEdge(u, v);
+        model[u].insert(v);
+      }
+    }
+  }
+  auto reopened = Open();
+  EXPECT_FALSE(reopened->recovery().snapshot_loaded);
+  EXPECT_GT(reopened->recovery().replayed_records, 0u);
+  ASSERT_EQ(reopened->NumEdges(), ModelEdges(model));
+  ASSERT_EQ(reopened->NumNodes(), model.size());
+  for (const auto& [u, vs] : model) {
+    EXPECT_EQ(SortedNeighbors(*reopened, u),
+              std::vector<NodeId>(vs.begin(), vs.end()))
+        << "u=" << u;
+  }
+}
+
+TEST_P(DurableConformanceTest, DeleteThenRecoverStaysDeleted) {
+  {
+    auto store = Open();
+    store->InsertEdge(1, 2);
+    store->InsertEdge(1, 3);
+    store->DeleteEdge(1, 2);
+  }
+  auto reopened = Open();
+  EXPECT_FALSE(reopened->QueryEdge(1, 2));
+  EXPECT_TRUE(reopened->QueryEdge(1, 3));
+  EXPECT_EQ(reopened->NumEdges(), 1u);
+}
+
+TEST_P(DurableConformanceTest, CheckpointThenRecoverUsesSnapshot) {
+  ReferenceModel model;
+  {
+    auto store = Open();
+    SplitMix64 rng(77);
+    for (int i = 0; i < 2'000; ++i) {
+      const NodeId u = rng.NextBelow(30);
+      const NodeId v = rng.NextBelow(500);
+      store->InsertEdge(u, v);
+      model[u].insert(v);
+    }
+    std::string error;
+    ASSERT_TRUE(store->Checkpoint(&error)) << error;
+    // Post-checkpoint tail lands in the truncated WAL.
+    store->InsertEdge(7, 100'001);
+    model[7].insert(100'001);
+    store->DeleteEdge(7, 100'001);
+    model[7].erase(100'001);
+  }
+  auto reopened = Open();
+  EXPECT_TRUE(reopened->recovery().snapshot_loaded);
+  EXPECT_EQ(reopened->recovery().replayed_records, 2u);
+  ASSERT_EQ(reopened->NumEdges(), ModelEdges(model));
+  for (const auto& [u, vs] : model) {
+    EXPECT_EQ(SortedNeighbors(*reopened, u),
+              std::vector<NodeId>(vs.begin(), vs.end()))
+        << "u=" << u;
+  }
+}
+
+TEST_P(DurableConformanceTest, AutoCheckpointTruncatesTheWal) {
+  auto store = Open(WalSyncMode::kNone, /*checkpoint_every=*/64);
+  for (NodeId v = 0; v < 200; ++v) store->InsertEdge(1, v);
+  const auto stats = store->durable_stats();
+  EXPECT_GE(stats.checkpoints, 1u) << stats.last_checkpoint_error;
+  EXPECT_GE(stats.wal.truncations, 1u);
+  store.reset();
+  auto reopened = Open();
+  EXPECT_TRUE(reopened->recovery().snapshot_loaded);
+  EXPECT_EQ(reopened->NumEdges(), 200u);
+}
+
+TEST_P(DurableConformanceTest, SyncModesAllRecover) {
+  for (const WalSyncMode mode :
+       {WalSyncMode::kAlways, WalSyncMode::kGroup, WalSyncMode::kNone}) {
+    const NodeId u = static_cast<NodeId>(1000 + static_cast<int>(mode));
+    {
+      auto store = Open(mode);
+      store->InsertEdge(u, 1);
+    }
+    auto reopened = Open();
+    EXPECT_TRUE(reopened->QueryEdge(u, 1))
+        << "mode=" << static_cast<int>(mode);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DurableSchemes, DurableConformanceTest,
+    ::testing::Values("cuckoo-durable", "cuckoo-sharded-durable"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
 
 }  // namespace
 }  // namespace cuckoograph
