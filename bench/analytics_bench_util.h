@@ -5,6 +5,14 @@
 // (CC/PR/BC/LCC) is inserted into each scheme. The timed region is the
 // scheme's snapshot materialization (CsrSnapshot::FromStore — the store's
 // extract cost) plus the kernel over the flat CSR.
+//
+// Every cell is oracle-checked: the kernel's KernelResult is compared
+// against a reference run (sequential, on a reference store holding the
+// same edges) — aggregates exactly, per-node values to spec.tolerance.
+// A diverging cell prints the delta and fails the whole binary with a
+// non-zero exit, so the CI smoke runs (--scale 0.01) double as
+// correctness gates. --threads sets the kernel + snapshot thread budget
+// for the timed cells (the oracle always runs 1-thread).
 #ifndef CUCKOOGRAPH_BENCH_ANALYTICS_BENCH_UTIL_H_
 #define CUCKOOGRAPH_BENCH_ANALYTICS_BENCH_UTIL_H_
 
@@ -13,6 +21,7 @@
 #include <vector>
 
 #include "analytics/csr_snapshot.h"
+#include "analytics/kernel.h"
 #include "common/types.h"
 
 namespace cuckoograph::bench {
@@ -25,17 +34,27 @@ struct AnalyticsFigureSpec {
   // Requires Capabilities().weighted: schemes without it print "-" for the
   // cell, and qualifying schemes get their snapshot built with weights.
   bool needs_weights = false;
-  // The timed kernel body: receives the scheme's snapshot and the selected
-  // nodes (original ids). Snapshot build time is charged to the cell too.
-  std::function<void(const analytics::CsrSnapshot&,
-                     const std::vector<NodeId>&)>
+  // Oracle tolerance on per-node values: 0 demands exact equality
+  // (BFS/SSSP/TC/CC — deterministic contracts at any budget), a small
+  // epsilon absorbs float association (PR). Aggregates compare exactly
+  // either way.
+  double tolerance = 0.0;
+  // The timed kernel body: receives the scheme's snapshot, the selected
+  // nodes (original ids), and the --threads kernel options; returns the
+  // result the oracle checks. Snapshot build time is charged to the cell
+  // too.
+  std::function<analytics::KernelResult(const analytics::CsrSnapshot&,
+                                        const std::vector<NodeId>&,
+                                        const analytics::KernelOptions&)>
       kernel;
 };
 
-// Parses --scale / --datasets / --schemes / --csv flags, runs the spec over
-// every dataset x scheme, and prints one row per dataset (columns =
-// schemes). --schemes takes a comma-separated subset of AllSchemeNames();
-// an unknown entry aborts with the factory's valid-scheme listing.
+// Parses --scale / --datasets / --schemes / --csv / --threads flags, runs
+// the spec over every dataset x scheme, and prints one row per dataset
+// (columns = schemes). --schemes takes a comma-separated subset of
+// AllSchemeNames(); an unknown entry aborts with the factory's
+// valid-scheme listing. Returns non-zero when any cell's result diverges
+// from the oracle.
 int RunAnalyticsFigure(int argc, char** argv, const AnalyticsFigureSpec& spec);
 
 }  // namespace cuckoograph::bench

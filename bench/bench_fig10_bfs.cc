@@ -1,7 +1,8 @@
 // Figure 10: running time of BFS on the seven datasets (Section V-E1).
 // Methodology: insert the whole dataset, snapshot it, then BFS from the
 // highest-degree nodes; the cell charges the snapshot build plus the
-// traversals.
+// traversals. Every cell's depths are oracle-checked (exact — level sets
+// are deterministic at any thread budget).
 #include "analytics/bfs.h"
 #include "analytics_bench_util.h"
 
@@ -12,15 +13,20 @@ int main(int argc, char** argv) {
   spec.title = "BFS running time (V-E1)";
   spec.subgraph_nodes = 5;  // five top-degree BFS roots
   spec.subgraph_only = false;
+  spec.tolerance = 0.0;
   spec.kernel = [](const analytics::CsrSnapshot& graph,
-                   const std::vector<NodeId>& roots) {
-    size_t total_visited = 0;
+                   const std::vector<NodeId>& roots,
+                   const analytics::KernelOptions& opts) {
+    // Per-root traversals; the oracle sees the last root's depths plus the
+    // total visit count across roots.
+    analytics::KernelResult combined;
     for (const NodeId root : roots) {
-      total_visited +=
-          analytics::bfs::Run(graph, Span<const NodeId>(&root, 1)).aggregate;
+      analytics::KernelResult run =
+          analytics::bfs::Run(graph, Span<const NodeId>(&root, 1), opts);
+      combined.aggregate += run.aggregate;
+      combined.per_node = std::move(run.per_node);
     }
-    // total_visited is intentionally unused beyond keeping the work alive.
-    (void)total_visited;
+    return combined;
   };
   return bench::RunAnalyticsFigure(argc, argv, spec);
 }

@@ -200,6 +200,52 @@ void BM_SnapshotBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_SnapshotBuild)->Arg(10'000)->Arg(100'000);
 
+// The parallel builder at a given lane count (arg 1), same workload as
+// BM_SnapshotBuild — the guard that the thread-pooled build actually
+// beats, or at worst matches, the sequential one as cores appear. The
+// differential suite proves the outputs byte-identical; this prices them.
+void BM_SnapshotBuildParallel(benchmark::State& state) {
+  const auto workload =
+      MakeTraversalWorkload(static_cast<size_t>(state.range(0)));
+  CuckooGraph graph;
+  graph.InsertEdges(workload);
+  analytics::CsrSnapshot::Options opts;
+  opts.num_threads = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    const auto snapshot = analytics::CsrSnapshot::FromStore(graph, opts);
+    benchmark::DoNotOptimize(snapshot.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(graph.NumEdges()));
+}
+BENCHMARK(BM_SnapshotBuildParallel)
+    ->Args({100'000, 2})
+    ->Args({100'000, 4});
+
+// Direction-optimizing BFS at a given lane count over the same graph as
+// BM_BfsOverCsr (arg 1 = threads; 1 = the sequential reference loop).
+void BM_BfsOverCsrParallel(benchmark::State& state) {
+  const auto workload =
+      MakeTraversalWorkload(static_cast<size_t>(state.range(0)));
+  CuckooGraph graph;
+  graph.InsertEdges(workload);
+  const auto snapshot = analytics::CsrSnapshot::FromStore(graph);
+  const NodeId root = workload[0].u;
+  analytics::KernelOptions opts;
+  opts.num_threads = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    const auto result =
+        analytics::bfs::Run(snapshot, Span<const NodeId>(&root, 1), opts);
+    benchmark::DoNotOptimize(result.aggregate);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(graph.NumEdges()));
+}
+BENCHMARK(BM_BfsOverCsrParallel)
+    ->Args({100'000, 1})
+    ->Args({100'000, 2})
+    ->Args({100'000, 4});
+
 void BM_BfsOverCsr(benchmark::State& state) {
   const auto workload =
       MakeTraversalWorkload(static_cast<size_t>(state.range(0)));

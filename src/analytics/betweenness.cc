@@ -5,7 +5,9 @@
 
 namespace cuckoograph::analytics::betweenness {
 
-KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources) {
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources,
+                 const KernelOptions& opts) {
+  (void)opts;  // sequential at any budget — see the header contract
   const size_t n = graph.num_nodes();
   KernelResult result;
   result.per_node.assign(n, 0.0);

@@ -11,7 +11,13 @@ namespace cuckoograph::analytics::betweenness {
 // excluded, unnormalized). `sources` selects the Brandes pivots — the
 // exact score needs every vertex, which an empty span requests; a subset
 // yields the standard pivot approximation. aggregate = pivots used.
-KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources);
+//
+// Runs sequentially at any opts.num_threads: pivot dependency
+// accumulation orders floating-point sums, and the kernel keeps the
+// sequential order as its score contract. The options are accepted for
+// the uniform kernel surface.
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources,
+                 const KernelOptions& opts = {});
 
 }  // namespace cuckoograph::analytics::betweenness
 

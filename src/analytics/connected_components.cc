@@ -17,7 +17,9 @@ struct Frame {
 
 }  // namespace
 
-KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources) {
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources,
+                 const KernelOptions& opts) {
+  (void)opts;  // sequential at any budget — see the header contract
   (void)sources;
   const size_t n = graph.num_nodes();
   KernelResult result;

@@ -12,7 +12,12 @@ namespace cuckoograph::analytics::connected_components {
 // reachable; ids are dense in [0, aggregate) in completion order),
 // aggregate = number of SCCs. `sources` is ignored — the kernel always
 // sweeps the whole snapshot.
-KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources);
+//
+// Runs sequentially at any opts.num_threads: the label contract above is
+// Tarjan completion order, which a parallel decomposition cannot
+// reproduce. The options are accepted for the uniform kernel surface.
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources,
+                 const KernelOptions& opts = {});
 
 }  // namespace cuckoograph::analytics::connected_components
 

@@ -1,7 +1,13 @@
 #include "analytics/csr_snapshot.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace cuckoograph::analytics {
 
@@ -21,41 +27,196 @@ std::vector<NodeId> SortedUnique(std::vector<NodeId> ids) {
   return ids;
 }
 
+// The snapshot layer's chunked parallel-for over the shared pool;
+// num_threads <= 1 is the inline sequential loop.
+template <typename Fn>
+void SnapParallelFor(const SnapshotOptions& opts, size_t begin, size_t end,
+                     Fn&& body) {
+  const size_t threads = opts.num_threads == 0 ? 1 : opts.num_threads;
+  if (threads > 1) ThreadPool::Shared().EnsureWorkers(threads - 1);
+  ThreadPool::Shared().ParallelFor(begin, end,
+                                   opts.grain == 0 ? 1 : opts.grain,
+                                   threads, std::forward<Fn>(body));
+}
+
+// Runs `extract(u, emit)` over every member of `sources` and returns the
+// emitted edges in sequential emission order — chunks collect locally and
+// are stitched back in range order, so the parallel extraction returns
+// the exact vector the one-lane loop would.
+template <typename ExtractFn>
+std::vector<Edge> ExtractEdgesOrdered(const SnapshotOptions& opts,
+                                      const std::vector<NodeId>& sources,
+                                      ExtractFn&& extract) {
+  std::vector<Edge> edges;
+  if (opts.num_threads <= 1) {
+    for (const NodeId u : sources) extract(u, edges);
+    return edges;
+  }
+  std::mutex mu;
+  std::vector<std::pair<size_t, std::vector<Edge>>> chunks;
+  SnapParallelFor(opts, 0, sources.size(), [&](size_t begin, size_t end) {
+    std::vector<Edge> local;
+    for (size_t i = begin; i < end; ++i) extract(sources[i], local);
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(begin, std::move(local));
+  });
+  std::sort(chunks.begin(), chunks.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t total = 0;
+  for (const auto& [begin, local] : chunks) total += local.size();
+  edges.reserve(total);
+  for (auto& [begin, local] : chunks) {
+    edges.insert(edges.end(), local.begin(), local.end());
+  }
+  return edges;
+}
+
+// Pulls per-edge weights, one EdgeWeight probe per edge — disjoint
+// writes, so the parallel fill is the sequential vector.
+std::vector<uint64_t> PullWeights(const GraphStore& store,
+                                  const std::vector<Edge>& edges,
+                                  const SnapshotOptions& opts) {
+  std::vector<uint64_t> weights(edges.size());
+  SnapParallelFor(opts, 0, edges.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      weights[i] = store.EdgeWeight(edges[i].u, edges[i].v);
+    }
+  });
+  return weights;
+}
+
 }  // namespace
 
 CsrSnapshot CsrSnapshot::Build(std::vector<Edge> edges,
                                std::vector<uint64_t> weights,
-                               std::vector<NodeId> universe) {
+                               std::vector<NodeId> universe,
+                               const SnapshotOptions& opts) {
   CsrSnapshot snap;
   snap.originals_ = std::move(universe);
   const size_t n = snap.originals_.size();
   snap.offsets_.assign(n + 1, 0);
   const bool weighted = !weights.empty();
 
-  std::vector<DenseEdge> dense(edges.size());
-  for (size_t i = 0; i < edges.size(); ++i) {
-    dense[i].u = snap.ToDense(edges[i].u);
-    dense[i].v = snap.ToDense(edges[i].v);
-    dense[i].w = weighted ? weights[i] : 1;
-  }
-  std::sort(dense.begin(), dense.end(),
-            [](const DenseEdge& a, const DenseEdge& b) {
-              return a.u != b.u ? a.u < b.u : a.v < b.v;
-            });
-
-  snap.neighbors_.reserve(dense.size());
-  if (weighted) snap.weights_.reserve(dense.size());
-  for (size_t i = 0; i < dense.size(); ++i) {
-    if (i > 0 && dense[i].u == dense[i - 1].u && dense[i].v == dense[i - 1].v) {
-      // Duplicate arrival: accumulate, matching the weighted store.
-      if (weighted) snap.weights_.back() += dense[i].w;
-      continue;
+  if (opts.num_threads <= 1) {
+    // The sequential reference builder: global (u, v) sort, then one
+    // dedup-accumulate pass.
+    std::vector<DenseEdge> dense(edges.size());
+    for (size_t i = 0; i < edges.size(); ++i) {
+      dense[i].u = snap.ToDense(edges[i].u);
+      dense[i].v = snap.ToDense(edges[i].v);
+      dense[i].w = weighted ? weights[i] : 1;
     }
-    snap.neighbors_.push_back(dense[i].v);
-    if (weighted) snap.weights_.push_back(dense[i].w);
-    ++snap.offsets_[dense[i].u + 1];
+    std::sort(dense.begin(), dense.end(),
+              [](const DenseEdge& a, const DenseEdge& b) {
+                return a.u != b.u ? a.u < b.u : a.v < b.v;
+              });
+
+    snap.neighbors_.reserve(dense.size());
+    if (weighted) snap.weights_.reserve(dense.size());
+    for (size_t i = 0; i < dense.size(); ++i) {
+      if (i > 0 && dense[i].u == dense[i - 1].u &&
+          dense[i].v == dense[i - 1].v) {
+        // Duplicate arrival: accumulate, matching the weighted store.
+        if (weighted) snap.weights_.back() += dense[i].w;
+        continue;
+      }
+      snap.neighbors_.push_back(dense[i].v);
+      if (weighted) snap.weights_.push_back(dense[i].w);
+      ++snap.offsets_[dense[i].u + 1];
+    }
+    for (size_t u = 0; u < n; ++u) {
+      snap.offsets_[u + 1] += snap.offsets_[u];
+    }
+    return snap;
   }
-  for (size_t u = 0; u < n; ++u) snap.offsets_[u + 1] += snap.offsets_[u];
+
+  // The parallel builder: atomic degree count -> prefix sum -> scatter ->
+  // per-segment sort/dedup -> second prefix sum -> compact. Identical
+  // output to the sequential path: each segment ends up ascending and
+  // unique either way, and duplicate weights sum to the same uint64 in
+  // any accumulation order.
+  const size_t m = edges.size();
+  std::vector<DenseEdge> dense(m);
+  SnapParallelFor(opts, 0, m, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      dense[i].u = snap.ToDense(edges[i].u);
+      dense[i].v = snap.ToDense(edges[i].v);
+      dense[i].w = weighted ? weights[i] : 1;
+    }
+  });
+
+  auto counts = std::make_unique<std::atomic<size_t>[]>(n);
+  for (size_t u = 0; u < n; ++u) {
+    counts[u].store(0, std::memory_order_relaxed);
+  }
+  SnapParallelFor(opts, 0, m, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      counts[dense[i].u].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::vector<size_t> raw_offsets(n + 1, 0);  // pre-dedup segment bounds
+  for (size_t u = 0; u < n; ++u) {
+    raw_offsets[u + 1] =
+        raw_offsets[u] + counts[u].load(std::memory_order_relaxed);
+  }
+  // Reuse counts[] as the scatter cursors.
+  for (size_t u = 0; u < n; ++u) {
+    counts[u].store(raw_offsets[u], std::memory_order_relaxed);
+  }
+  std::vector<std::pair<DenseId, uint64_t>> scratch(m);  // (v, w) per slot
+  SnapParallelFor(opts, 0, m, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const size_t slot =
+          counts[dense[i].u].fetch_add(1, std::memory_order_relaxed);
+      scratch[slot] = {dense[i].v, dense[i].w};
+    }
+  });
+
+  // Sort each vertex's segment by target and count its unique targets;
+  // segments are disjoint, so lanes never touch the same slots.
+  std::vector<size_t> uniq(n, 0);
+  SnapParallelFor(opts, 0, n, [&](size_t begin, size_t end) {
+    for (size_t u = begin; u < end; ++u) {
+      const auto seg_begin = scratch.begin() +
+                             static_cast<ptrdiff_t>(raw_offsets[u]);
+      const auto seg_end = scratch.begin() +
+                           static_cast<ptrdiff_t>(raw_offsets[u + 1]);
+      std::sort(seg_begin, seg_end,
+                [](const auto& a, const auto& b) {
+                  return a.first < b.first;
+                });
+      size_t distinct = 0;
+      DenseId last = 0;
+      for (auto it = seg_begin; it != seg_end; ++it) {
+        if (distinct == 0 || it->first != last) {
+          ++distinct;
+          last = it->first;
+        }
+      }
+      uniq[u] = distinct;
+    }
+  });
+  for (size_t u = 0; u < n; ++u) {
+    snap.offsets_[u + 1] = snap.offsets_[u] + uniq[u];
+  }
+
+  snap.neighbors_.resize(snap.offsets_[n]);
+  if (weighted) snap.weights_.resize(snap.offsets_[n]);
+  SnapParallelFor(opts, 0, n, [&](size_t begin, size_t end) {
+    for (size_t u = begin; u < end; ++u) {
+      size_t out = snap.offsets_[u];
+      for (size_t i = raw_offsets[u]; i < raw_offsets[u + 1]; ++i) {
+        const auto& [v, w] = scratch[i];
+        if (out > snap.offsets_[u] && snap.neighbors_[out - 1] == v) {
+          if (weighted) snap.weights_[out - 1] += w;
+          continue;
+        }
+        snap.neighbors_[out] = v;
+        if (weighted) snap.weights_[out] = w;
+        ++out;
+      }
+    }
+  });
   return snap;
 }
 
@@ -65,6 +226,8 @@ CsrSnapshot CsrSnapshot::FromStore(const GraphStore& store,
   // across the whole store, so no writer may run concurrently — not even
   // on a store whose Capabilities() advertise concurrent_mutations. The
   // edge-count recheck below catches a mutating store after the fact.
+  // (The parallel path leans on the same contract: concurrent const reads
+  // of a quiesced store race nothing.)
   const size_t edges_at_start = store.NumEdges();
 
   // Drain the node cursor fully before opening neighbor cursors, and pull
@@ -73,18 +236,16 @@ CsrSnapshot CsrSnapshot::FromStore(const GraphStore& store,
   sources.reserve(store.NumNodes());
   store.ForEachNode([&sources](NodeId u) { sources.push_back(u); });
 
-  std::vector<Edge> edges;
-  edges.reserve(store.NumEdges());
-  for (const NodeId u : sources) {
-    store.ForEachNeighbor(u, [&edges, u](NodeId v) {
-      edges.push_back(Edge{u, v});
-    });
-  }
+  std::vector<Edge> edges = ExtractEdgesOrdered(
+      opts, sources, [&store](NodeId u, std::vector<Edge>& out) {
+        store.ForEachNeighbor(u, [&out, u](NodeId v) {
+          out.push_back(Edge{u, v});
+        });
+      });
 
   std::vector<uint64_t> weights;
   if (opts.with_weights && !edges.empty()) {
-    weights.reserve(edges.size());
-    for (const Edge& e : edges) weights.push_back(store.EdgeWeight(e.u, e.v));
+    weights = PullWeights(store, edges, opts);
   }
 
   if (store.NumEdges() != edges_at_start || edges.size() != edges_at_start) {
@@ -102,7 +263,7 @@ CsrSnapshot CsrSnapshot::FromStore(const GraphStore& store,
     universe.push_back(e.v);
   }
   return Build(std::move(edges), std::move(weights),
-               SortedUnique(std::move(universe)));
+               SortedUnique(std::move(universe)), opts);
 }
 
 CsrSnapshot CsrSnapshot::FromStore(const GraphStore& store,
@@ -119,12 +280,12 @@ CsrSnapshot CsrSnapshot::FromStore(const GraphStore& store,
     return std::binary_search(universe.begin(), universe.end(), v);
   };
 
-  std::vector<Edge> edges;
-  for (const NodeId u : universe) {
-    store.ForEachNeighbor(u, [&edges, &member, u](NodeId v) {
-      if (member(v)) edges.push_back(Edge{u, v});
-    });
-  }
+  std::vector<Edge> edges = ExtractEdgesOrdered(
+      opts, universe, [&store, &member](NodeId u, std::vector<Edge>& out) {
+        store.ForEachNeighbor(u, [&out, &member, u](NodeId v) {
+          if (member(v)) out.push_back(Edge{u, v});
+        });
+      });
 
   if (store.NumEdges() != edges_at_start) {
     throw std::logic_error(
@@ -135,14 +296,15 @@ CsrSnapshot CsrSnapshot::FromStore(const GraphStore& store,
 
   std::vector<uint64_t> weights;
   if (opts.with_weights && !edges.empty()) {
-    weights.reserve(edges.size());
-    for (const Edge& e : edges) weights.push_back(store.EdgeWeight(e.u, e.v));
+    weights = PullWeights(store, edges, opts);
   }
-  return Build(std::move(edges), std::move(weights), std::move(universe));
+  return Build(std::move(edges), std::move(weights), std::move(universe),
+               opts);
 }
 
 CsrSnapshot CsrSnapshot::FromEdges(Span<const Edge> edges,
-                                   Span<const uint64_t> weights) {
+                                   Span<const uint64_t> weights,
+                                   SnapshotOptions opts) {
   if (!weights.empty() && weights.size() != edges.size()) {
     throw std::invalid_argument(
         "CsrSnapshot::FromEdges: weights must be empty or parallel to "
@@ -156,7 +318,7 @@ CsrSnapshot CsrSnapshot::FromEdges(Span<const Edge> edges,
   }
   return Build(std::vector<Edge>(edges.begin(), edges.end()),
                std::vector<uint64_t>(weights.begin(), weights.end()),
-               SortedUnique(std::move(universe)));
+               SortedUnique(std::move(universe)), opts);
 }
 
 bool CsrSnapshot::HasEdge(DenseId u, DenseId v) const {

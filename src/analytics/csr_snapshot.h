@@ -32,6 +32,19 @@ struct SnapshotOptions {
   // !Capabilities().weighted is the bench's methodological call (fig11
   // skips, per Section V-E2).
   bool with_weights = false;
+  // Lanes the build may use (the calling thread counts as one). 1 — the
+  // default — is the exact sequential builder. A larger budget extracts
+  // per-source adjacency and weights in parallel (safe on a quiesced
+  // store: concurrent const reads race nothing once writers stop) and
+  // constructs the CSR by parallel degree-count / prefix-sum / scatter /
+  // per-segment sort. The result is byte-identical to the sequential
+  // build — segment order is canonical and duplicate-weight accumulation
+  // is an order-independent integer sum — which
+  // tests/parallel_kernels_test.cc proves per scheme.
+  size_t num_threads = 1;
+  // Minimum items per parallel-for chunk (sources during extraction,
+  // edges/vertices during construction).
+  size_t grain = 1024;
 };
 
 class CsrSnapshot {
@@ -73,9 +86,12 @@ class CsrSnapshot {
   // edges collapse; with `weights` (parallel to `edges`, or empty for unit
   // weights) duplicates accumulate, matching weighted-store arrivals.
   // Throws std::invalid_argument when `weights` is non-empty but not the
-  // same length as `edges`.
+  // same length as `edges`. opts.with_weights is ignored (the explicit
+  // `weights` span decides); opts.num_threads selects the parallel
+  // builder, same byte-identical contract as FromStore.
   static CsrSnapshot FromEdges(Span<const Edge> edges,
-                               Span<const uint64_t> weights = {});
+                               Span<const uint64_t> weights = {},
+                               SnapshotOptions opts = {});
 
   size_t num_nodes() const { return originals_.size(); }
   size_t num_edges() const { return neighbors_.size(); }
@@ -118,7 +134,8 @@ class CsrSnapshot {
  private:
   static CsrSnapshot Build(std::vector<Edge> edges,
                            std::vector<uint64_t> weights,
-                           std::vector<NodeId> universe);
+                           std::vector<NodeId> universe,
+                           const SnapshotOptions& opts);
 
   std::vector<size_t> offsets_;     // num_nodes + 1 entries
   std::vector<DenseId> neighbors_;  // per-vertex segments, ascending

@@ -1,22 +1,36 @@
 // The analytics kernels' uniform surface. Every kernel (bfs.h ... lcc.h)
 // exposes exactly
 //
-//   KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources);
+//   KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources,
+//                    const KernelOptions& opts = {});
 //
 // in its own sub-namespace (analytics::bfs::Run, analytics::sssp::Run, ...)
 // so the figure benches and tests drive all seven through one shape.
 // `sources` are original node ids; ids absent from the snapshot are
 // ignored, and kernels that sweep the whole snapshot (CC, PageRank) accept
 // an empty span.
+//
+// KernelOptions carries the thread budget. num_threads = 1 (the default)
+// runs the exact sequential reference implementation — bit-for-bit the
+// pre-parallel behavior. num_threads > 1 engages the parallel variants
+// where one exists (direction-optimizing BFS, frontier-parallel
+// delta-stepping SSSP, vertex-parallel PageRank/TC/LCC); CC (Tarjan) and
+// BC (Brandes) are deterministic sequential algorithms whose label/score
+// contract depends on visit order, so they accept the options for API
+// uniformity and run sequentially at any budget. The differential suite
+// (tests/parallel_kernels_test.cc) proves every parallel variant
+// result-compatible with its sequential reference.
 #ifndef CUCKOOGRAPH_ANALYTICS_KERNEL_H_
 #define CUCKOOGRAPH_ANALYTICS_KERNEL_H_
 
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "analytics/csr_snapshot.h"
 #include "common/span.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 
 namespace cuckoograph::analytics {
@@ -37,8 +51,39 @@ struct KernelResult {
   uint64_t aggregate = 0;
 };
 
-// The uniform entry-point shape, for registries and bench tables.
-using KernelFn = KernelResult (*)(const CsrSnapshot&, Span<const NodeId>);
+// Per-call execution options, shared by every kernel and by the parallel
+// snapshot builder's kernel-side callers.
+struct KernelOptions {
+  // Lanes a kernel may use; the calling thread counts as one, so
+  // num_threads - 1 shared-pool workers join it. 1 (default) takes the
+  // exact sequential reference path; 0 is treated as 1.
+  size_t num_threads = 1;
+  // Minimum vertices/frontier entries per parallel-for chunk — raises the
+  // amortization floor on tiny inputs so lane handoff never dominates.
+  size_t grain = 256;
+  // Bucket width of the parallel delta-stepping SSSP (see sssp.h). Any
+  // width produces the same distances; it only tunes work per phase.
+  uint64_t delta = 8;
+};
+
+// Runs body(chunk_begin, chunk_end) over [begin, end) with the options'
+// thread budget on the process-shared pool (growing it if needed).
+// num_threads <= 1 degenerates to one inline call — the sequential loop.
+template <typename Fn>
+void KernelParallelFor(const KernelOptions& opts, size_t begin, size_t end,
+                       Fn&& body) {
+  const size_t threads = opts.num_threads == 0 ? 1 : opts.num_threads;
+  if (threads > 1) ThreadPool::Shared().EnsureWorkers(threads - 1);
+  ThreadPool::Shared().ParallelFor(begin, end,
+                                   opts.grain == 0 ? 1 : opts.grain,
+                                   threads, std::forward<Fn>(body));
+}
+
+// The uniform entry-point shape, for registries and bench tables. (BFS
+// additionally takes an optional parent-tree out-param; registries bind
+// it behind a lambda of this shape.)
+using KernelFn = KernelResult (*)(const CsrSnapshot&, Span<const NodeId>,
+                                  const KernelOptions&);
 
 // Maps `sources` into dense ids, dropping absentees and duplicates while
 // preserving first-occurrence order. Shared by every kernel's prologue.

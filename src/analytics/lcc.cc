@@ -1,6 +1,5 @@
 #include "analytics/lcc.h"
 
-#include <numeric>
 #include <vector>
 
 namespace cuckoograph::analytics::lcc {
@@ -23,20 +22,31 @@ double CoefficientOf(const CsrSnapshot& graph, DenseId u) {
 
 }  // namespace
 
-KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources) {
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources,
+                 const KernelOptions& opts) {
   KernelResult result;
   result.per_node.assign(graph.num_nodes(), 0.0);
   if (sources.empty()) {
-    for (DenseId u = 0; u < graph.num_nodes(); ++u) {
-      result.per_node[u] = CoefficientOf(graph, u);
-      ++result.aggregate;
-    }
+    // Vertex-parallel sweep; per_node writes are disjoint by construction.
+    KernelParallelFor(opts, 0, graph.num_nodes(),
+                      [&](size_t begin, size_t end) {
+                        for (size_t u = begin; u < end; ++u) {
+                          result.per_node[u] =
+                              CoefficientOf(graph, static_cast<DenseId>(u));
+                        }
+                      });
+    result.aggregate = graph.num_nodes();
     return result;
   }
-  for (const DenseId u : ResolveSources(graph, sources)) {
-    result.per_node[u] = CoefficientOf(graph, u);
-    ++result.aggregate;
-  }
+  const std::vector<DenseId> resolved = ResolveSources(graph, sources);
+  KernelParallelFor(opts, 0, resolved.size(),
+                    [&](size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) {
+                        result.per_node[resolved[i]] =
+                            CoefficientOf(graph, resolved[i]);
+                      }
+                    });
+  result.aggregate = resolved.size();
   return result;
 }
 

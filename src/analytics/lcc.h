@@ -10,7 +10,12 @@ namespace cuckoograph::analytics::lcc {
 // edge v->w present) / (deg(u) * (deg(u) - 1)); 0 when deg(u) < 2. Scores
 // `sources` (others stay 0), or every vertex when `sources` is empty.
 // aggregate = vertices scored.
-KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources);
+//
+// A multi-thread budget scores vertices in parallel — each lane writes its
+// own per_node slots and every coefficient is computed by one lane, so the
+// scores are bit-identical to the sequential reference.
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources,
+                 const KernelOptions& opts = {});
 
 }  // namespace cuckoograph::analytics::lcc
 

@@ -10,12 +10,20 @@ namespace cuckoograph::analytics::pagerank {
 
 // Power iteration with uniform teleport and dangling mass redistributed
 // uniformly. per_node = score (sums to 1), aggregate = iterations run.
+//
+// A multi-thread budget runs the vertex-parallel scatter: lanes push rank
+// shares through CAS-accumulated atomic doubles. The arithmetic is the
+// sequential kernel's — only the order floating-point sums associate in
+// changes, so scores agree with the 1-thread reference to ~1e-12 per node
+// per 100 iterations (the differential suite allows 1e-9).
 KernelResult RunIterations(const CsrSnapshot& graph, size_t iterations,
-                           double damping = 0.85);
+                           double damping = 0.85,
+                           const KernelOptions& opts = {});
 
 // The figure's configuration: 100 iterations, damping 0.85. `sources` is
 // ignored — PageRank scores the whole snapshot.
-KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources);
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources,
+                 const KernelOptions& opts = {});
 
 }  // namespace cuckoograph::analytics::pagerank
 

@@ -1,5 +1,8 @@
 #include "analytics/sssp.h"
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -26,9 +29,8 @@ KernelResult ToResult(const CsrSnapshot& graph,
   return result;
 }
 
-}  // namespace
-
-KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources) {
+KernelResult RunDijkstra(const CsrSnapshot& graph,
+                         Span<const NodeId> sources) {
   std::vector<uint64_t> dist(graph.num_nodes(), kInfinite);
   using HeapEntry = std::pair<uint64_t, DenseId>;  // (distance, vertex)
   std::priority_queue<HeapEntry, std::vector<HeapEntry>,
@@ -55,9 +57,8 @@ KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources) {
   return ToResult(graph, dist);
 }
 
-KernelResult RunDeltaStepping(const CsrSnapshot& graph,
-                              Span<const NodeId> sources, uint64_t delta) {
-  if (delta == 0) delta = 1;
+KernelResult RunDeltaSequential(const CsrSnapshot& graph,
+                                Span<const NodeId> sources, uint64_t delta) {
   std::vector<uint64_t> dist(graph.num_nodes(), kInfinite);
   std::vector<std::vector<DenseId>> buckets;
   const auto push = [&buckets, delta](DenseId v, uint64_t d) {
@@ -92,6 +93,101 @@ KernelResult RunDeltaStepping(const CsrSnapshot& graph,
     }
   }
   return ToResult(graph, dist);
+}
+
+// Frontier-parallel delta-stepping. Each bucket batch is relaxed by the
+// kernel lanes: a CAS-min loop settles dist[v] (relaxed order — the
+// ParallelFor barrier publishes cross-batch, and the CAS itself arbitrates
+// within a batch), and the winning lane queues v for its new bucket. A
+// lane may read a tentative dist[u] that another lane is lowering in the
+// same batch; the lowered value re-queues u, so the label-correcting fixed
+// point — the unique shortest-distance vector — is unchanged.
+KernelResult RunDeltaParallel(const CsrSnapshot& graph,
+                              Span<const NodeId> sources, uint64_t delta,
+                              const KernelOptions& opts) {
+  const size_t n = graph.num_nodes();
+  auto dist = std::make_unique<std::atomic<uint64_t>[]>(n);
+  for (size_t v = 0; v < n; ++v) {
+    dist[v].store(kInfinite, std::memory_order_relaxed);
+  }
+
+  std::vector<std::vector<DenseId>> buckets;
+  std::mutex buckets_mu;
+  const auto push_locked = [&buckets, delta](DenseId v, uint64_t d) {
+    const size_t idx = static_cast<size_t>(d / delta);
+    if (idx >= buckets.size()) buckets.resize(idx + 1);
+    buckets[idx].push_back(v);
+  };
+
+  for (const DenseId s : ResolveSources(graph, sources)) {
+    dist[s].store(0, std::memory_order_relaxed);
+    push_locked(s, 0);
+  }
+
+  std::vector<DenseId> batch;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    while (!buckets[i].empty()) {
+      batch.clear();
+      batch.swap(buckets[i]);
+      KernelParallelFor(opts, 0, batch.size(), [&](size_t begin,
+                                                   size_t end) {
+        // (vertex, settled distance) pairs this chunk won, merged into
+        // the shared buckets once per chunk.
+        std::vector<std::pair<DenseId, uint64_t>> won;
+        for (size_t b = begin; b < end; ++b) {
+          const DenseId u = batch[b];
+          const uint64_t d = dist[u].load(std::memory_order_relaxed);
+          if (d == kInfinite || d / delta != i) continue;
+          const Span<const DenseId> neighbors = graph.Neighbors(u);
+          for (size_t slot = 0; slot < neighbors.size(); ++slot) {
+            const DenseId v = neighbors[slot];
+            const uint64_t candidate = d + WeightOf(graph, u, slot);
+            uint64_t current = dist[v].load(std::memory_order_relaxed);
+            while (candidate < current) {
+              if (dist[v].compare_exchange_weak(
+                      current, candidate, std::memory_order_relaxed)) {
+                won.emplace_back(v, candidate);
+                break;
+              }
+            }
+          }
+        }
+        if (!won.empty()) {
+          std::lock_guard<std::mutex> lock(buckets_mu);
+          for (const auto& [v, d] : won) push_locked(v, d);
+        }
+      });
+    }
+  }
+
+  KernelResult result;
+  result.per_node.assign(n, kUnreached);
+  for (size_t v = 0; v < n; ++v) {
+    const uint64_t d = dist[v].load(std::memory_order_relaxed);
+    if (d == kInfinite) continue;
+    result.per_node[v] = static_cast<double>(d);
+    ++result.aggregate;
+  }
+  return result;
+}
+
+}  // namespace
+
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources,
+                 const KernelOptions& opts) {
+  if (opts.num_threads <= 1) return RunDijkstra(graph, sources);
+  return RunDeltaParallel(graph, sources, opts.delta == 0 ? 1 : opts.delta,
+                          opts);
+}
+
+KernelResult RunDeltaStepping(const CsrSnapshot& graph,
+                              Span<const NodeId> sources, uint64_t delta,
+                              const KernelOptions& opts) {
+  if (delta == 0) delta = 1;
+  if (opts.num_threads <= 1) {
+    return RunDeltaSequential(graph, sources, delta);
+  }
+  return RunDeltaParallel(graph, sources, delta, opts);
 }
 
 }  // namespace cuckoograph::analytics::sssp

@@ -10,17 +10,26 @@
 
 namespace cuckoograph::analytics::sssp {
 
-// Multi-source Dijkstra (binary heap, lazy deletion). per_node = weighted
-// distance from the nearest source (kUnreached when unreachable),
-// aggregate = vertices reached.
-KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources);
+// Multi-source shortest paths. per_node = weighted distance from the
+// nearest source (kUnreached when unreachable), aggregate = vertices
+// reached.
+//
+// opts.num_threads == 1 runs Dijkstra (binary heap, lazy deletion) — the
+// exact reference. A larger budget runs frontier-parallel delta-stepping
+// with bucket width opts.delta: each bucket batch relaxes in parallel,
+// racing lanes settle each tentative distance with a CAS-min, and the
+// fixed point is the unique shortest-distance vector — so distances match
+// Dijkstra exactly, whatever the lane schedule or delta.
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources,
+                 const KernelOptions& opts = {});
 
-// Delta-stepping variant: bucketed label-correcting with bucket width
-// `delta`. Produces the same distances as Run; the bench compares the two
-// on skewed streams.
+// Delta-stepping entry point with an explicit bucket width (the bench
+// compares widths on skewed streams). Sequential label-correcting under a
+// 1-thread budget, the parallel batch relaxation above otherwise; both
+// produce Run's distances.
 KernelResult RunDeltaStepping(const CsrSnapshot& graph,
-                              Span<const NodeId> sources,
-                              uint64_t delta = 1);
+                              Span<const NodeId> sources, uint64_t delta = 1,
+                              const KernelOptions& opts = {});
 
 }  // namespace cuckoograph::analytics::sssp
 

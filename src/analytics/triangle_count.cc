@@ -1,6 +1,7 @@
 #include "analytics/triangle_count.h"
 
-#include <numeric>
+#include <atomic>
+#include <vector>
 
 namespace cuckoograph::analytics::triangle_count {
 
@@ -20,22 +21,37 @@ uint64_t CyclesThrough(const CsrSnapshot& graph, DenseId s) {
 
 }  // namespace
 
-KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources) {
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources,
+                 const KernelOptions& opts) {
   KernelResult result;
   result.per_node.assign(graph.num_nodes(), 0.0);
-  if (sources.empty()) {
-    for (DenseId s = 0; s < graph.num_nodes(); ++s) {
+  std::atomic<uint64_t> total{0};
+  const auto count_range = [&](Span<const DenseId> anchors, size_t begin,
+                               size_t end) {
+    uint64_t local = 0;
+    for (size_t i = begin; i < end; ++i) {
+      const DenseId s = anchors.empty() ? static_cast<DenseId>(i)
+                                        : anchors[i];
       const uint64_t cycles = CyclesThrough(graph, s);
       result.per_node[s] = static_cast<double>(cycles);
-      result.aggregate += cycles;
+      local += cycles;
     }
-    return result;
+    total.fetch_add(local, std::memory_order_relaxed);
+  };
+  if (sources.empty()) {
+    KernelParallelFor(opts, 0, graph.num_nodes(),
+                      [&](size_t begin, size_t end) {
+                        count_range({}, begin, end);
+                      });
+  } else {
+    const std::vector<DenseId> resolved = ResolveSources(graph, sources);
+    KernelParallelFor(opts, 0, resolved.size(),
+                      [&](size_t begin, size_t end) {
+                        count_range(Span<const DenseId>(resolved), begin,
+                                    end);
+                      });
   }
-  for (const DenseId s : ResolveSources(graph, sources)) {
-    const uint64_t cycles = CyclesThrough(graph, s);
-    result.per_node[s] = static_cast<double>(cycles);
-    result.aggregate += cycles;
-  }
+  result.aggregate = total.load();
   return result;
 }
 

@@ -12,7 +12,12 @@ namespace cuckoograph::analytics::triangle_count {
 // of the paper's edge-query probe). Sweeps every vertex when `sources` is
 // empty — each 3-cycle then counts once per member. aggregate = the sum
 // over the swept sources.
-KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources);
+//
+// A multi-thread budget anchors sources across lanes. Per-source counts
+// are integers written disjointly and the aggregate is their exact sum,
+// so the result is bit-identical to the sequential reference.
+KernelResult Run(const CsrSnapshot& graph, Span<const NodeId> sources,
+                 const KernelOptions& opts = {});
 
 }  // namespace cuckoograph::analytics::triangle_count
 

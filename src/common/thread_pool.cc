@@ -1,0 +1,155 @@
+#include "common/thread_pool.h"
+
+#include <exception>
+#include <utility>
+
+namespace cuckoograph {
+
+namespace {
+
+// Set while a pool worker is executing tasks. A ParallelFor issued from
+// inside a task must not wait on pool capacity (the only free lane might
+// be the very worker that is waiting), so it runs inline instead.
+thread_local bool t_inside_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpawnWorkersLocked(num_workers);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  // Anything that slipped into the queue after the last worker drained it
+  // (a task submitted by another task mid-shutdown) still runs, on this
+  // thread, so nothing submitted is ever dropped.
+  while (!queue_.empty()) {
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    task();
+  }
+}
+
+size_t ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+void ThreadPool::EnsureWorkers(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (n > workers_.size()) SpawnWorkersLocked(n - workers_.size());
+}
+
+void ThreadPool::SpawnWorkersLocked(size_t n) {
+  workers_.reserve(workers_.size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_inside_worker = true;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) break;  // stopping_ and nothing left to drain
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
+void ThreadPool::DoParallelFor(size_t begin, size_t end, size_t grain,
+                               size_t parallelism,
+                               const std::function<void(size_t, size_t)>&
+                                   body) {
+  if (t_inside_worker) {  // nested call: this lane is the budget
+    body(begin, end);
+    return;
+  }
+
+  const size_t n = end - begin;
+  size_t lanes = parallelism;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (lanes > workers_.size() + 1) lanes = workers_.size() + 1;
+  }
+  // Chunks outnumber lanes so an uneven body still balances, but never
+  // undercut the grain (the caller's amortization floor).
+  size_t chunk = (n + lanes * 4 - 1) / (lanes * 4);
+  if (chunk < grain) chunk = grain;
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  if (lanes > num_chunks) lanes = num_chunks;
+  if (lanes <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  // Shared lane state, on this frame: the barrier below outlives every
+  // reference a lane task holds.
+  struct ForState {
+    std::atomic<size_t> next_chunk{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t outstanding_tasks;
+    std::exception_ptr first_error;  // guarded by mu
+  } state;
+  state.outstanding_tasks = lanes - 1;
+
+  const auto run_lane = [begin, end, chunk, num_chunks, &body, &state] {
+    while (true) {
+      const size_t c =
+          state.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const size_t b = begin + c * chunk;
+      const size_t e = b + chunk < end ? b + chunk : end;
+      try {
+        body(b, e);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (!state.first_error) {
+          state.first_error = std::current_exception();
+        }
+        // Abandon the chunks nobody claimed yet; lanes mid-chunk finish.
+        state.next_chunk.store(num_chunks, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  for (size_t t = 0; t + 1 < lanes; ++t) {
+    Submit([&run_lane, &state] {
+      run_lane();
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (--state.outstanding_tasks == 0) state.done_cv.notify_one();
+    });
+  }
+  run_lane();
+
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done_cv.wait(lock, [&state] { return state.outstanding_tasks == 0; });
+  if (state.first_error) std::rethrow_exception(state.first_error);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+}  // namespace cuckoograph
